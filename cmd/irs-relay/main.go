@@ -1,0 +1,135 @@
+// Command irs-relay runs one hop of the oblivious validation path
+// (paper §4.2, the ODoH/Private Relay structure).
+//
+// Egress mode decrypts sealed queries and resolves them against a
+// proxy-style validator backed by the configured ledgers; it never sees
+// client identity:
+//
+//	irs-relay -mode egress -addr :8332 -ledger 1=http://localhost:8330
+//
+// Ingress mode forwards sealed blobs to an egress with all client
+// identification stripped; it never sees the query:
+//
+//	irs-relay -mode ingress -addr :8333 -egress http://localhost:8332
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/proxy"
+	"irs/internal/relay"
+	"irs/internal/wire"
+)
+
+type ledgerList map[ids.LedgerID]string
+
+func (l ledgerList) String() string { return fmt.Sprintf("%v", map[ids.LedgerID]string(l)) }
+
+func (l ledgerList) Set(v string) error {
+	id, url, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want id=url, got %q", v)
+	}
+	n, err := strconv.ParseUint(id, 10, 32)
+	if err != nil || n == 0 {
+		return fmt.Errorf("bad ledger id %q", id)
+	}
+	l[ids.LedgerID(n)] = url
+	return nil
+}
+
+func main() {
+	ledgers := ledgerList{}
+	var (
+		mode            = flag.String("mode", "", "egress or ingress")
+		addr            = flag.String("addr", ":8332", "listen address")
+		egressURL       = flag.String("egress", "", "egress base URL (ingress mode)")
+		refreshInterval = flag.Duration("refresh-interval", time.Hour, "ledger filter refresh interval (egress mode)")
+	)
+	flag.Var(ledgers, "ledger", "ledger endpoint as id=url (egress mode, repeatable)")
+	flag.Parse()
+
+	var handler http.Handler
+	switch *mode {
+	case "egress":
+		if len(ledgers) == 0 {
+			fmt.Fprintln(os.Stderr, "irs-relay: egress mode needs at least one -ledger id=url")
+			os.Exit(2)
+		}
+		dir := wire.NewDirectory()
+		for id, url := range ledgers {
+			dir.Register(id, wire.NewClient(url, ""))
+		}
+		val := proxy.NewValidator(proxy.Config{UseFilter: true, CacheCapacity: 65536},
+			func(id ids.PhotoID) (*ledger.StatusProof, error) {
+				c, err := dir.For(id)
+				if err != nil {
+					return nil, err
+				}
+				return c.Status(id)
+			})
+		if err := val.RefreshFilters(dir); err != nil {
+			log.Printf("irs-relay: initial filter refresh: %v (continuing)", err)
+		}
+		go func() {
+			t := time.NewTicker(*refreshInterval)
+			defer t.Stop()
+			for range t.C {
+				if err := val.RefreshFilters(dir); err != nil {
+					log.Printf("irs-relay: filter refresh: %v", err)
+				}
+			}
+		}()
+		eg, err := relay.NewEgress(func(id ids.PhotoID) (ledger.State, []byte, error) {
+			res, err := val.Validate(id)
+			if err != nil {
+				return ledger.StateUnknown, nil, err
+			}
+			var proof []byte
+			if res.Proof != nil {
+				proof = res.Proof.Marshal()
+			}
+			return res.State, proof, nil
+		})
+		if err != nil {
+			log.Fatalf("irs-relay: %v", err)
+		}
+		handler = relay.NewEgressServer(eg)
+		log.Printf("irs-relay: egress serving on %s for %d ledgers (key at /v1/relay-key)", *addr, len(ledgers))
+
+	case "ingress":
+		if *egressURL == "" {
+			fmt.Fprintln(os.Stderr, "irs-relay: ingress mode needs -egress")
+			os.Exit(2)
+		}
+		handler = relay.NewIngress(*egressURL)
+		log.Printf("irs-relay: ingress serving on %s, forwarding to %s", *addr, *egressURL)
+
+	default:
+		fmt.Fprintln(os.Stderr, "irs-relay: -mode must be egress or ingress")
+		os.Exit(2)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("irs-relay: shutting down")
+		srv.Close()
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("irs-relay: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+// Package irs is a from-scratch reproduction of "Global Content
+// Revocation on the Internet: A Case Study in Technology Ecosystem
+// Transformation" (Galstyan, McCauley, Farid, Ratnasamy, Shenker —
+// HotNets '22).
+//
+// The implementation lives under internal/ (one package per subsystem;
+// see DESIGN.md for the inventory), the runnable services and tools
+// under cmd/, and narrative walkthroughs under examples/. The
+// benchmarks in bench_test.go regenerate every quantitative claim in
+// the paper; EXPERIMENTS.md records paper-vs-measured for each.
+package irs

@@ -1,0 +1,82 @@
+// TET adoption walkthrough: the paper's strategic argument (§1, §4.1,
+// §6) as a runnable simulation.
+//
+//	go run ./examples/adoption
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"irs/internal/tet"
+)
+
+func main() {
+	p := tet.DefaultParams()
+	aggs := tet.DefaultAggregators()
+	res, err := tet.Run(p, aggs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Technology Ecosystem Transformation: the IRS bootstrap")
+	fmt.Printf("first movers: %.0f%% browser share; liability trigger: %.0fB photos\n\n",
+		p.FirstMoverShare*100, p.TriggerPhotos)
+
+	// ASCII adoption curve, sampled yearly.
+	fmt.Println("year  users  photos(B)  aggregators on board")
+	for m := 0; m < len(res.Timeline); m += 12 {
+		s := res.Timeline[m]
+		names := []string{}
+		for name, am := range res.AdoptionMonth {
+			if am <= m {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		bar := strings.Repeat("#", int(s.UserAdoption*40))
+		fmt.Printf("%4d  %4.0f%%  %8.0f  %-40s %s\n",
+			m/12, s.UserAdoption*100, s.Photos, bar, strings.Join(names, ", "))
+	}
+
+	fmt.Println("\nadoption events:")
+	type ev struct {
+		name  string
+		month int
+	}
+	var events []ev
+	for name, m := range res.AdoptionMonth {
+		events = append(events, ev{name, m})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].month < events[j].month })
+	for _, e := range events {
+		fmt.Printf("  month %3d: %s adopts IRS\n", e.month, e.name)
+	}
+	if res.TriggerMonth >= 0 {
+		fmt.Printf("  month %3d: photo base crosses the %.0fB bootstrap-capacity trigger\n",
+			res.TriggerMonth, p.TriggerPhotos)
+	}
+
+	fmt.Println("\ncounterfactual — no first movers (TET criterion i fails):")
+	p0 := p
+	p0.FirstMoverShare = 0
+	r0, err := tet.Run(p0, tet.DefaultAggregators())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  final adoption %.0f%%, aggregators on board: %d — nothing happens\n",
+		r0.Final.UserAdoption*100, len(r0.AdoptionMonth))
+
+	fmt.Println("\ncounterfactual — weak liability (criterion ii weakened):")
+	pw := p
+	pw.LiabilityWeight = 0.3
+	rw, err := tet.Run(pw, tet.DefaultAggregators())
+	if err != nil {
+		log.Fatal(err)
+	}
+	joined := len(rw.AdoptionMonth)
+	fmt.Printf("  %d/%d aggregators adopt within %d months; the engagement-maximizers hold out\n",
+		joined, len(aggs), pw.Months)
+}

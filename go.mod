@@ -1,0 +1,3 @@
+module irs
+
+go 1.22

@@ -1,0 +1,23 @@
+package aggregator
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+
+	"irs/internal/ledger"
+)
+
+// generateKeypair creates the per-custodial-claim keypair.
+func generateKeypair() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("aggregator: keygen: %w", err)
+	}
+	return pub, priv, nil
+}
+
+// signClaim signs the canonical claim message.
+func signClaim(priv ed25519.PrivateKey, hash [32]byte) []byte {
+	return ed25519.Sign(priv, ledger.ClaimMsg(hash))
+}

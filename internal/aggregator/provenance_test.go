@@ -1,0 +1,99 @@
+package aggregator
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"irs/internal/ids"
+	"irs/internal/provenance"
+)
+
+func TestUploadWithValidProvenanceAccepted(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	r.cam.Device = newDeviceSigner(t)
+	labeled, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(40, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.agg.Upload(labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted || res.ID != owned.ID {
+		t.Fatalf("upload with manifest: %+v", res)
+	}
+}
+
+func TestUploadWithTamperedProvenanceDenied(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	r.cam.Device = newDeviceSigner(t)
+	labeled, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(41, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the manifest with garbage of valid base64 but broken
+	// content.
+	tampered := labeled.Clone()
+	tampered.Meta.Set(provenance.KeyManifest, "bm90IGEgbWFuaWZlc3Q=") // "not a manifest"
+	res, err := r.agg.Upload(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || res.Reason != DenyBadProvenance {
+		t.Errorf("tampered manifest: %+v, want DenyBadProvenance", res)
+	}
+}
+
+func TestUploadWithMismatchedProvenanceClaimDenied(t *testing.T) {
+	// A manifest whose claim binding names a different identifier than
+	// the label: provenance forgery or a stolen manifest.
+	r := newRig(t, RejectUnlabeled, nil)
+	dev := newDeviceSigner(t)
+	r.cam.Device = dev
+	labeled, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(42, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a fresh, internally valid chain binding a DIFFERENT id and
+	// swap it in. It must still verify in isolation, so only the
+	// cross-check catches it.
+	otherID, err := ids.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := provenance.New(*dev, labeled, timeAt(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.AddIRSClaim(*dev, otherID, labeled, timeAt(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Embed(labeled); err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Verify(labeled); err != nil {
+		t.Fatalf("test setup: forged chain must verify standalone: %v", err)
+	}
+	res, err := r.agg.Upload(labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || res.Reason != DenyBadProvenance {
+		t.Errorf("mismatched manifest claim: %+v, want DenyBadProvenance", res)
+	}
+}
+
+func newDeviceSigner(t *testing.T) *provenance.Signer {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &provenance.Signer{Pub: pub, Priv: priv}
+}
+
+func timeAt(h int) time.Time {
+	return time.Date(2022, 11, 14, h, 0, 0, 0, time.UTC)
+}

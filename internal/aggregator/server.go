@@ -1,0 +1,140 @@
+package aggregator
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+
+	"irs/internal/ids"
+	"irs/internal/photo"
+	"irs/internal/wire"
+)
+
+// Server exposes an Aggregator over HTTP — the upload/serve surface a
+// real content site would put in front of the §3.2 pipeline.
+//
+//	POST /v1/upload          body: IRSP container → UploadResponse
+//	GET  /v1/photo?id=I      → IRSP container (with freshness proof in
+//	                           metadata), 404/410 when absent/taken down
+//	POST /v1/recheck         → RecheckResponse (operator endpoint)
+//	GET  /v1/stats           → Metrics
+type Server struct {
+	agg *Aggregator
+	mux *http.ServeMux
+}
+
+// UploadResponse is the JSON outcome of an upload.
+type UploadResponse struct {
+	Accepted  bool   `json:"accepted"`
+	Reason    string `json:"reason"`
+	ID        string `json:"id,omitempty"`
+	Custodial bool   `json:"custodial,omitempty"`
+}
+
+// RecheckResponse reports a recheck pass.
+type RecheckResponse struct {
+	TakenDown int `json:"taken_down"`
+	Hosted    int `json:"hosted"`
+}
+
+// maxUploadBytes bounds photo uploads (64 MiB covers any synthetic
+// photo this repository produces by orders of magnitude).
+const maxUploadBytes = 64 << 20
+
+// NewServer wraps an aggregator.
+func NewServer(a *Aggregator) *Server {
+	s := &Server{agg: a, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/upload", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/photo", s.handlePhoto)
+	s.mux.HandleFunc("POST /v1/recheck", s.handleRecheck)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	im, err := photo.DecodeIRSP(io.LimitReader(r.Body, maxUploadBytes))
+	if err != nil {
+		wire.WriteError(w, http.StatusBadRequest, fmt.Sprintf("decoding upload: %v", err))
+		return
+	}
+	res, err := s.agg.Upload(im)
+	if err != nil {
+		wire.WriteError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := &UploadResponse{
+		Accepted:  res.Accepted,
+		Reason:    res.Reason.String(),
+		Custodial: res.Custodial,
+	}
+	if res.Accepted {
+		resp.ID = res.ID.String()
+	}
+	status := http.StatusOK
+	if !res.Accepted {
+		// 422: the request was well-formed but the content is not
+		// hostable under IRS policy.
+		status = http.StatusUnprocessableEntity
+	}
+	wire.WriteJSON(w, status, resp)
+}
+
+func (s *Server) handlePhoto(w http.ResponseWriter, r *http.Request) {
+	id, err := ids.Parse(r.URL.Query().Get("id"))
+	if err != nil {
+		wire.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	im, err := s.agg.Serve(id)
+	switch {
+	case err == nil:
+	case err == ErrNotHosted:
+		wire.WriteError(w, http.StatusNotFound, err.Error())
+		return
+	case err == ErrTakenDown:
+		// 410 Gone: hosted once, revoked since.
+		wire.WriteError(w, http.StatusGone, err.Error())
+		return
+	default:
+		wire.WriteError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	var buf bytes.Buffer
+	if err := photo.EncodeIRSP(&buf, im); err != nil {
+		wire.WriteError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-irsp")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleRecheck(w http.ResponseWriter, r *http.Request) {
+	down, err := s.agg.RecheckAll()
+	if err != nil {
+		wire.WriteError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, &RecheckResponse{TakenDown: down, Hosted: s.agg.HostedCount()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.agg.MetricsSnapshot()
+	out := map[string]any{
+		"uploads":    m.Uploads,
+		"accepted":   m.Accepted,
+		"rechecks":   m.Rechecks,
+		"taken_down": m.TakenDown,
+		"hosted":     s.agg.HostedCount(),
+	}
+	denied := map[string]uint64{}
+	for reason, n := range m.Denied {
+		denied[reason.String()] = n
+	}
+	out["denied"] = denied
+	wire.WriteJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,175 @@
+package aggregator
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"irs/internal/photo"
+)
+
+func postUpload(t *testing.T, srv *httptest.Server, im *photo.Image) (*UploadResponse, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := photo.EncodeIRSP(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/upload", "application/x-irsp", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.StatusCode
+}
+
+func TestServerUploadServeRecheck(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	srv := httptest.NewServer(NewServer(r.agg))
+	defer srv.Close()
+
+	labeled, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(50, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upload over HTTP.
+	up, code := postUpload(t, srv, labeled)
+	if code != http.StatusOK || !up.Accepted || up.ID != owned.ID.String() {
+		t.Fatalf("upload: %d %+v", code, up)
+	}
+
+	// Serve over HTTP: IRSP body with proof metadata.
+	resp, err := http.Get(srv.URL + "/v1/photo?id=" + owned.ID.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("photo status %d", resp.StatusCode)
+	}
+	served, err := photo.DecodeIRSP(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Meta.Get(photo.KeyIRSProof) == "" {
+		t.Error("served photo missing freshness proof")
+	}
+	if !served.Equal(labeled) {
+		t.Error("served pixels differ from upload")
+	}
+
+	// Revoke, recheck over HTTP, then the photo is gone.
+	if err := r.cam.Revoke(owned.ID); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/v1/recheck", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rc RecheckResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rc.TakenDown != 1 || rc.Hosted != 0 {
+		t.Errorf("recheck: %+v", rc)
+	}
+	resp, err = http.Get(srv.URL + "/v1/photo?id=" + owned.ID.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("after takedown status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerDeniesOverHTTP(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	srv := httptest.NewServer(NewServer(r.agg))
+	defer srv.Close()
+
+	up, code := postUpload(t, srv, photo.Synth(51, 192, 128))
+	if code != http.StatusUnprocessableEntity || up.Accepted || up.Reason != "unlabeled" {
+		t.Errorf("unlabeled upload: %d %+v", code, up)
+	}
+
+	// Garbage body.
+	resp, err := http.Post(srv.URL+"/v1/upload", "application/x-irsp", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage upload status %d", resp.StatusCode)
+	}
+
+	// Bad id on photo fetch.
+	resp, err = http.Get(srv.URL + "/v1/photo?id=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status %d", resp.StatusCode)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	srv := httptest.NewServer(NewServer(r.agg))
+	defer srv.Close()
+	if _, code := postUpload(t, srv, photo.Synth(52, 192, 128)); code != http.StatusUnprocessableEntity {
+		t.Fatalf("setup upload code %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["uploads"].(float64) != 1 {
+		t.Errorf("stats: %+v", stats)
+	}
+	denied := stats["denied"].(map[string]any)
+	if denied["unlabeled"].(float64) != 1 {
+		t.Errorf("denied map: %+v", denied)
+	}
+}
+
+func TestServerStaleServeGone(t *testing.T) {
+	// After ProofMaxAge passes and the photo was revoked, GET returns
+	// 410 Gone.
+	now := timeAt(0)
+	r := newRig(t, RejectUnlabeled, func() time.Time { return now })
+	srv := httptest.NewServer(NewServer(r.agg))
+	defer srv.Close()
+	labeled, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(53, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up, code := postUpload(t, srv, labeled); code != http.StatusOK {
+		t.Fatalf("upload %d %+v", code, up)
+	}
+	if err := r.cam.Revoke(owned.ID); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Hour) // past the 1h proof window
+	resp, err := http.Get(srv.URL + "/v1/photo?id=" + owned.ID.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("stale revoked serve status %d, want 410", resp.StatusCode)
+	}
+}

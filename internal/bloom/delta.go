@@ -1,0 +1,98 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Delta encoding of Bloom filter updates.
+//
+// Paper §4.4: "We assume these will be updated regularly (perhaps
+// hourly), and transferred with a delta encoding such that the update
+// traffic will be low." Because claims set a handful of bits per key and
+// hourly churn is a tiny fraction of the population, consecutive
+// snapshots differ in few bits. The delta lists the *flipped bit
+// positions* as varint-encoded gaps — typically 1–3 bytes per flipped
+// bit versus the full snapshot's m/8 bytes. XOR semantics (flip, not
+// set) let the same encoding carry rebuilds that clear bits.
+
+const deltaMagic = "IRSBD1"
+
+// Delta computes an update that transforms prev into next. The two
+// filters must share parameters.
+func Delta(prev, next *Filter) ([]byte, error) {
+	if prev.m != next.m || prev.k != next.k {
+		return nil, ErrMismatch
+	}
+	out := make([]byte, 0, 64)
+	out = append(out, deltaMagic...)
+	var hdr [28]byte
+	binary.BigEndian.PutUint64(hdr[0:], prev.m)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(prev.k))
+	binary.BigEndian.PutUint64(hdr[12:], prev.n)
+	binary.BigEndian.PutUint64(hdr[20:], next.n)
+	out = append(out, hdr[:]...)
+
+	var varBuf [binary.MaxVarintLen64]byte
+	body := make([]byte, 0, 256)
+	var count uint64
+	last := int64(-1)
+	for i := range prev.bits {
+		x := prev.bits[i] ^ next.bits[i]
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			x &= x - 1
+			pos := int64(i)*64 + int64(b)
+			n := binary.PutUvarint(varBuf[:], uint64(pos-last))
+			body = append(body, varBuf[:n]...)
+			last = pos
+			count++
+		}
+	}
+	n := binary.PutUvarint(varBuf[:], count)
+	out = append(out, varBuf[:n]...)
+	out = append(out, body...)
+	return out, nil
+}
+
+// Apply mutates f by the given delta. f must be the exact base the delta
+// was computed from (same parameters; snapshot ordering is the caller's
+// responsibility — ledgers number snapshots so proxies apply them in
+// order).
+func Apply(f *Filter, delta []byte) error {
+	if len(delta) < 6+28 || string(delta[:6]) != deltaMagic {
+		return errors.New("bloom: bad delta encoding")
+	}
+	m := binary.BigEndian.Uint64(delta[6:])
+	k := int(binary.BigEndian.Uint32(delta[14:]))
+	nextN := binary.BigEndian.Uint64(delta[26:])
+	if m != f.m || k != f.k {
+		return ErrMismatch
+	}
+	body := delta[34:]
+	count, used := binary.Uvarint(body)
+	if used <= 0 {
+		return errors.New("bloom: bad delta count")
+	}
+	body = body[used:]
+	pos := int64(-1)
+	for j := uint64(0); j < count; j++ {
+		gap, used := binary.Uvarint(body)
+		if used <= 0 {
+			return fmt.Errorf("bloom: truncated delta at entry %d", j)
+		}
+		body = body[used:]
+		pos += int64(gap)
+		if pos < 0 || uint64(pos) >= f.m {
+			return fmt.Errorf("bloom: delta bit position %d out of range", pos)
+		}
+		f.bits[pos/64] ^= 1 << (uint64(pos) % 64)
+	}
+	if len(body) != 0 {
+		return errors.New("bloom: trailing delta bytes")
+	}
+	f.n = nextN
+	return nil
+}

@@ -1,0 +1,160 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaRoundTrip(t *testing.T) {
+	base, err := NewWithEstimate(10000, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		base.Add(splitmix64(i))
+	}
+	next := base.Clone()
+	for i := uint64(5000); i < 5200; i++ {
+		next.Add(splitmix64(i))
+	}
+	d, err := Delta(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := base.Clone()
+	if err := Apply(applied, d); err != nil {
+		t.Fatal(err)
+	}
+	if applied.N() != next.N() {
+		t.Errorf("N after apply = %d, want %d", applied.N(), next.N())
+	}
+	for i := range next.bits {
+		if applied.bits[i] != next.bits[i] {
+			t.Fatalf("word %d differs after delta apply", i)
+		}
+	}
+}
+
+func TestDeltaEmpty(t *testing.T) {
+	base, err := New(1<<12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Delta(base, base.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty delta: header + count only.
+	if len(d) > 6+28+1 {
+		t.Errorf("no-change delta is %d bytes", len(d))
+	}
+	cp := base.Clone()
+	if err := Apply(cp, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaMuchSmallerThanFull(t *testing.T) {
+	// The point of E5: hourly churn deltas are a tiny fraction of a full
+	// snapshot transfer.
+	base, err := NewWithEstimate(100000, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100000; i++ {
+		base.Add(splitmix64(i))
+	}
+	next := base.Clone()
+	for i := uint64(100000); i < 100500; i++ { // 0.5% churn
+		next.Add(splitmix64(i))
+	}
+	d, err := Delta(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(next.Marshal())
+	if len(d)*10 > full {
+		t.Errorf("delta %d bytes vs full %d — expected >10x saving", len(d), full)
+	}
+}
+
+func TestDeltaMismatch(t *testing.T) {
+	a, err := New(1<<12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(1<<13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Delta(a, b); err != ErrMismatch {
+		t.Errorf("got %v, want ErrMismatch", err)
+	}
+	d, err := Delta(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(b, d); err != ErrMismatch {
+		t.Errorf("apply to mismatched filter: got %v, want ErrMismatch", err)
+	}
+}
+
+func TestApplyRejectsGarbage(t *testing.T) {
+	f, err := New(1<<12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range map[string][]byte{
+		"empty":    {},
+		"badmagic": []byte("NOTDELTAxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+	} {
+		if err := Apply(f, b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Truncated real delta.
+	next := f.Clone()
+	next.Add(123)
+	d, err := Delta(f, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(f.Clone(), d[:len(d)-4]); err == nil {
+		t.Error("truncated delta accepted")
+	}
+}
+
+// Property: for any two populations, applying the delta to the base
+// reproduces the target exactly.
+func TestQuickDeltaExact(t *testing.T) {
+	f := func(baseKeys, addKeys []uint64) bool {
+		base, err := New(1<<10, 3)
+		if err != nil {
+			return false
+		}
+		for _, k := range baseKeys {
+			base.Add(k)
+		}
+		next := base.Clone()
+		for _, k := range addKeys {
+			next.Add(k)
+		}
+		d, err := Delta(base, next)
+		if err != nil {
+			return false
+		}
+		got := base.Clone()
+		if err := Apply(got, d); err != nil {
+			return false
+		}
+		for i := range got.bits {
+			if got.bits[i] != next.bits[i] {
+				return false
+			}
+		}
+		return got.N() == next.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

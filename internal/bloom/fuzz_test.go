@@ -1,0 +1,50 @@
+package bloom
+
+import "testing"
+
+// FuzzUnmarshal: hostile filter encodings must error cleanly.
+func FuzzUnmarshal(f *testing.F) {
+	fl, err := New(1<<10, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	fl.Add(42)
+	f.Add(fl.Marshal())
+	f.Add([]byte("IRSBF1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted filters must round-trip.
+		b := got.Marshal()
+		if _, err := Unmarshal(b); err != nil {
+			t.Fatalf("re-marshal of accepted filter fails: %v", err)
+		}
+	})
+}
+
+// FuzzApply: hostile deltas must never corrupt the filter silently —
+// either they apply (valid format) or they error.
+func FuzzApply(f *testing.F) {
+	base, err := New(1<<10, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	next := base.Clone()
+	next.Add(7)
+	d, err := Delta(base, next)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(d)
+	f.Add([]byte("IRSBD1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := New(1<<10, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = Apply(fl, data) // must not panic
+	})
+}

@@ -1,0 +1,159 @@
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Xor8 is the xor filter of Graf & Lemire (ACM JEA 2020), one of the
+// "recent advances" the paper cites as a drop-in improvement over
+// standard Bloom filters [15]. It is a static structure: built once from
+// the full key set, queried immutably. It stores 8-bit fingerprints in
+// an array of 1.23·n + 32 slots split into three equal blocks; each key
+// maps to one slot per block and is present iff the XOR of its three
+// slots equals its fingerprint. The false-positive rate is a fixed
+// 1/256 ≈ 0.39% at ~9.84 bits per key.
+//
+// In IRS terms: a ledger that republishes its filter hourly anyway can
+// afford a static structure, buying a 5× lower false-hit rate than the
+// paper's 8-bits/key Bloom sizing at nearly the same space. The ablation
+// benchmark quantifies this trade.
+type Xor8 struct {
+	seed         uint64
+	blockLength  uint32
+	fingerprints []uint8
+}
+
+// fingerprint derives the 8-bit fingerprint of a hashed key.
+func xorFingerprint(h uint64) uint8 {
+	v := uint8(h ^ (h >> 32))
+	// Zero fingerprints make absent keys with zeroed slots match; avoid.
+	if v == 0 {
+		v = 0xa5
+	}
+	return v
+}
+
+// reduce maps a 32-bit hash onto [0, n) without modulo bias.
+func reduce(h uint32, n uint32) uint32 {
+	return uint32(uint64(h) * uint64(n) >> 32)
+}
+
+// xorHashes returns the three slot indices (one per block) for a key
+// under the given seed. Following Graf & Lemire, the three values are
+// 32-bit windows of one 64-bit hash taken at rotations 0, 21 and 42, so
+// each window carries full entropy.
+func xorHashes(key, seed uint64, blockLength uint32) (h0, h1, h2 uint32) {
+	h := splitmix64(key ^ seed)
+	r0 := uint32(h)
+	r1 := uint32(bits.RotateLeft64(h, 21))
+	r2 := uint32(bits.RotateLeft64(h, 42))
+	h0 = reduce(r0, blockLength)
+	h1 = reduce(r1, blockLength) + blockLength
+	h2 = reduce(r2, blockLength) + 2*blockLength
+	return
+}
+
+// ErrBuildFailed is returned when peeling fails repeatedly, which for
+// distinct keys is cryptographically unlikely.
+var ErrBuildFailed = errors.New("bloom: xor filter construction failed")
+
+// BuildXor8 constructs a filter over the given keys. Keys must be
+// distinct; duplicates make peeling fail.
+func BuildXor8(keys []uint64) (*Xor8, error) {
+	n := len(keys)
+	if n == 0 {
+		return nil, errors.New("bloom: empty key set")
+	}
+	capacity := uint32(32 + 123*n/100)
+	capacity = capacity / 3 * 3 // round down to multiple of 3
+	if capacity < 3 {
+		capacity = 3
+	}
+	blockLength := capacity / 3
+
+	type slotSet struct {
+		count uint32
+		mask  uint64 // XOR of keys mapping here
+	}
+	sets := make([]slotSet, capacity)
+	stackKeys := make([]uint64, 0, n)
+	stackSlots := make([]uint32, 0, n)
+	queue := make([]uint32, 0, capacity)
+
+	for attempt := 0; attempt < 100; attempt++ {
+		seed := splitmix64(uint64(attempt)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D)
+		for i := range sets {
+			sets[i] = slotSet{}
+		}
+		for _, k := range keys {
+			h0, h1, h2 := xorHashes(k, seed, blockLength)
+			sets[h0].count++
+			sets[h0].mask ^= k
+			sets[h1].count++
+			sets[h1].mask ^= k
+			sets[h2].count++
+			sets[h2].mask ^= k
+		}
+		// Peel: repeatedly remove slots with exactly one key.
+		queue = queue[:0]
+		for i := range sets {
+			if sets[i].count == 1 {
+				queue = append(queue, uint32(i))
+			}
+		}
+		stackKeys = stackKeys[:0]
+		stackSlots = stackSlots[:0]
+		for len(queue) > 0 {
+			slot := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if sets[slot].count != 1 {
+				continue
+			}
+			k := sets[slot].mask
+			stackKeys = append(stackKeys, k)
+			stackSlots = append(stackSlots, slot)
+			h0, h1, h2 := xorHashes(k, seed, blockLength)
+			for _, h := range [3]uint32{h0, h1, h2} {
+				sets[h].count--
+				sets[h].mask ^= k
+				if sets[h].count == 1 {
+					queue = append(queue, h)
+				}
+			}
+		}
+		if len(stackKeys) != n {
+			continue // cycle; retry with a new seed
+		}
+		// Assign fingerprints in reverse peel order. At the moment key k
+		// is processed, fp[slot] is still zero, so XORing all three slot
+		// values and the target fingerprint yields the value that makes
+		// fp[h0]^fp[h1]^fp[h2] == fingerprint(k).
+		fp := make([]uint8, capacity)
+		for i := n - 1; i >= 0; i-- {
+			k := stackKeys[i]
+			slot := stackSlots[i]
+			h0, h1, h2 := xorHashes(k, seed, blockLength)
+			fp[slot] = xorFingerprint(splitmix64(k^seed)) ^ fp[h0] ^ fp[h1] ^ fp[h2]
+		}
+		return &Xor8{seed: seed, blockLength: blockLength, fingerprints: fp}, nil
+	}
+	return nil, fmt.Errorf("%w after 100 seeds (duplicate keys?)", ErrBuildFailed)
+}
+
+// Contains reports whether key may be in the set (false positives at
+// ~1/256, never false negatives for built keys).
+func (x *Xor8) Contains(key uint64) bool {
+	h0, h1, h2 := xorHashes(key, x.seed, x.blockLength)
+	want := xorFingerprint(splitmix64(key ^ x.seed))
+	return x.fingerprints[h0]^x.fingerprints[h1]^x.fingerprints[h2] == want
+}
+
+// SizeBytes returns the fingerprint array size.
+func (x *Xor8) SizeBytes() uint64 { return uint64(len(x.fingerprints)) }
+
+// BitsPerKey returns storage efficiency for a set of n keys.
+func (x *Xor8) BitsPerKey(n int) float64 {
+	return float64(len(x.fingerprints)*8) / float64(n)
+}

@@ -1,0 +1,139 @@
+package browser
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"irs/internal/netsim"
+)
+
+// Scroll-session model (§4.3): the paper's prototype observation is
+// about *scrolling* — "we did not notice additional delay when
+// scrolling through a variety of web sites containing claimed images."
+//
+// Scrolling differs from a page load: images lazy-load as they approach
+// the viewport, so each image has a lookahead budget (the time between
+// its fetch starting and the user actually reaching it). A revocation
+// check only becomes *visible* if the image would have been ready
+// without IRS but is still awaiting its check when scrolled into view.
+// ScrollSession counts exactly those events.
+
+// ScrollSpec parameterizes a scroll session.
+type ScrollSpec struct {
+	// NImages is the feed length.
+	NImages int
+	// RowsPerSecond is the scroll speed (one image per row).
+	RowsPerSecond float64
+	// LookaheadRows is how far below the viewport the browser starts
+	// fetching (lazy-loading margin; browsers use a few viewports).
+	LookaheadRows int
+	// ImageFetch, MetaDelay, Check are the latency distributions, as in
+	// PageSpec.
+	ImageFetch netsim.Dist
+	MetaDelay  netsim.Dist
+	Check      netsim.Dist
+	// Connections bounds concurrent image fetches (0 = 6).
+	Connections int
+	// LabeledFraction is the fraction of images needing checks.
+	LabeledFraction float64
+}
+
+// ScrollResult reports one evaluated session.
+type ScrollResult struct {
+	// BaselineStalls counts images not yet fetched when scrolled into
+	// view — stalls the user suffers with or without IRS.
+	BaselineStalls int
+	// AddedStalls counts images that were fetched in time but whose
+	// check was still pending at view time: the IRS-visible events.
+	AddedStalls int
+	// AddedStallTime is the total extra waiting attributable to checks.
+	AddedStallTime time.Duration
+	// ChecksIssued counts revocation checks.
+	ChecksIssued int
+}
+
+// ScrollSession evaluates one session with pre-sampled draws from rng.
+// The same rng seed gives identical network behaviour across check
+// configurations, so differences are attributable to the checks.
+func ScrollSession(spec ScrollSpec, mode Mode, rng *rand.Rand) ScrollResult {
+	conns := spec.Connections
+	if conns <= 0 {
+		conns = 6
+	}
+	rowTime := time.Duration(float64(time.Second) / spec.RowsPerSecond)
+	lookahead := time.Duration(spec.LookaheadRows) * rowTime
+
+	pool := make(connHeap, conns)
+	heap.Init(&pool)
+
+	var res ScrollResult
+	for i := 0; i < spec.NImages; i++ {
+		viewAt := time.Duration(i) * rowTime
+		earliest := viewAt - lookahead
+		if earliest < 0 {
+			earliest = 0
+		}
+		// A connection must be free AND the image must be within the
+		// lazy-load margin.
+		start := pool[0]
+		if start < earliest {
+			start = earliest
+		}
+		fetch := spec.ImageFetch.Sample(rng)
+		meta := spec.MetaDelay.Sample(rng)
+		if meta > fetch {
+			meta = fetch
+		}
+		check := spec.Check.Sample(rng)
+		labeled := rng.Float64() < spec.LabeledFraction
+
+		bodyDone := start + fetch
+		heap.Pop(&pool)
+		heap.Push(&pool, bodyDone)
+
+		displayable := bodyDone
+		if mode != ModeOff && labeled {
+			res.ChecksIssued++
+			var checkDone time.Duration
+			switch mode {
+			case ModePipelined:
+				checkDone = start + meta + check
+			case ModeBlocking:
+				checkDone = bodyDone + check
+			}
+			if checkDone > displayable {
+				displayable = checkDone
+			}
+		}
+		switch {
+		case bodyDone > viewAt:
+			// The network was the bottleneck; IRS only adds on top.
+			res.BaselineStalls++
+			if displayable > bodyDone {
+				res.AddedStallTime += displayable - bodyDone
+			}
+		case displayable > viewAt:
+			// Ready without IRS, not ready with it: the visible event.
+			res.AddedStalls++
+			res.AddedStallTime += displayable - viewAt
+		}
+	}
+	return res
+}
+
+// FeedSpec returns the default photo-feed scroll model: a long feed of
+// labeled photos on a residential connection, scrolled at a leisurely
+// one row per 1.5 s with a two-viewport (8-row) lazy-load margin.
+func FeedSpec(check netsim.Dist, rowsPerSecond float64) ScrollSpec {
+	return ScrollSpec{
+		NImages:         200,
+		RowsPerSecond:   rowsPerSecond,
+		LookaheadRows:   8,
+		ImageFetch:      netsim.Uniform{Min: 200 * time.Millisecond, Max: 900 * time.Millisecond},
+		MetaDelay:       netsim.Fixed(50 * time.Millisecond),
+		Check:           check,
+		Connections:     6,
+		LabeledFraction: 1.0,
+	}
+}

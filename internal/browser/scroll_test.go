@@ -1,0 +1,94 @@
+package browser
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"irs/internal/netsim"
+)
+
+func TestScrollNoChecksNoAddedStalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := FeedSpec(netsim.Fixed(100*time.Millisecond), 0.7)
+	res := ScrollSession(spec, ModeOff, rng)
+	if res.AddedStalls != 0 || res.AddedStallTime != 0 {
+		t.Errorf("ModeOff added stalls: %+v", res)
+	}
+	if res.ChecksIssued != 0 {
+		t.Errorf("ModeOff issued checks")
+	}
+}
+
+func TestScrollLeisurelyPipelinedInvisible(t *testing.T) {
+	// The paper's prototype observation: at normal scroll speeds with
+	// sub-250ms checks, IRS adds nothing visible.
+	rng := rand.New(rand.NewSource(2))
+	spec := FeedSpec(netsim.Fixed(200*time.Millisecond), 0.7)
+	res := ScrollSession(spec, ModePipelined, rng)
+	if res.AddedStalls != 0 {
+		t.Errorf("leisurely scroll: %d added stalls", res.AddedStalls)
+	}
+	if res.ChecksIssued != spec.NImages {
+		t.Errorf("checks %d, want %d", res.ChecksIssued, spec.NImages)
+	}
+}
+
+func TestScrollFastFlingShowsBaselineStalls(t *testing.T) {
+	// Flinging outruns the network itself; those are baseline stalls,
+	// not IRS's fault — the model must attribute them correctly.
+	rng := rand.New(rand.NewSource(3))
+	spec := FeedSpec(netsim.Fixed(100*time.Millisecond), 20)
+	base := ScrollSession(spec, ModeOff, rng)
+	if base.BaselineStalls == 0 {
+		t.Error("fast fling produced zero baseline stalls — model miscalibrated")
+	}
+}
+
+func TestScrollSlowChecksBecomeVisible(t *testing.T) {
+	// Very slow checks (1.5s) must eventually show up even at leisurely
+	// speeds: 8 rows of lookahead at 0.7 rows/s ≈ 11.4s budget, so use
+	// a fast-but-human speed where budget ≈ 2.7s and the check pushes
+	// past it.
+	rng := rand.New(rand.NewSource(4))
+	spec := FeedSpec(netsim.Fixed(3*time.Second), 3)
+	res := ScrollSession(spec, ModePipelined, rng)
+	if res.AddedStalls == 0 {
+		t.Error("3s checks never visible at 3 rows/s — model insensitive")
+	}
+}
+
+func TestScrollBlockingWorseThanPipelined(t *testing.T) {
+	specOf := func() ScrollSpec { return FeedSpec(netsim.Fixed(300*time.Millisecond), 2.5) }
+	pip := ScrollSession(specOf(), ModePipelined, rand.New(rand.NewSource(5)))
+	blk := ScrollSession(specOf(), ModeBlocking, rand.New(rand.NewSource(5)))
+	if blk.AddedStallTime < pip.AddedStallTime {
+		t.Errorf("blocking stall time %v < pipelined %v", blk.AddedStallTime, pip.AddedStallTime)
+	}
+}
+
+func TestScrollDeterministicUnderSeed(t *testing.T) {
+	spec := FeedSpec(netsim.Fixed(150*time.Millisecond), 1)
+	a := ScrollSession(spec, ModePipelined, rand.New(rand.NewSource(7)))
+	b := ScrollSession(spec, ModePipelined, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Error("scroll session not deterministic")
+	}
+}
+
+func TestScrollUnlabeledSkipsChecks(t *testing.T) {
+	spec := FeedSpec(netsim.Fixed(100*time.Millisecond), 1)
+	spec.LabeledFraction = 0
+	res := ScrollSession(spec, ModePipelined, rand.New(rand.NewSource(8)))
+	if res.ChecksIssued != 0 || res.AddedStalls != 0 {
+		t.Errorf("unlabeled feed: %+v", res)
+	}
+}
+
+func BenchmarkScrollSession(b *testing.B) {
+	spec := FeedSpec(netsim.Fixed(100*time.Millisecond), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ScrollSession(spec, ModePipelined, rand.New(rand.NewSource(int64(i))))
+	}
+}

@@ -1,0 +1,147 @@
+// Package dct implements the type-II discrete cosine transform and its
+// inverse (type-III), in one and two dimensions.
+//
+// Two consumers in this repository depend on it: the robust watermark
+// (internal/watermark) embeds identifier bits in mid-band coefficients of
+// 8×8 blocks, and the perceptual hash (internal/phash) compares the
+// low-frequency corner of a 32×32 transform. Both uses follow the
+// DWT/DCT-domain schemes the paper cites for watermarking [2, 6, 18, 24]
+// and the DCT variant of PhotoDNA-style robust hashing [13].
+//
+// The implementation is a direct O(N²) transform per row/column with
+// precomputed cosine tables. For the tiny block sizes used here (8 and 32)
+// this is fast, allocation-free after table construction, and exactly
+// invertible to floating-point precision, which the tests assert.
+package dct
+
+import (
+	"math"
+	"sync"
+)
+
+// table holds the orthonormal DCT-II basis for a given N:
+// basis[k][n] = c(k) * cos(pi*(2n+1)*k/(2N)), with c(0)=sqrt(1/N),
+// c(k>0)=sqrt(2/N). With this scaling the transform matrix is orthogonal,
+// so the inverse is the transpose.
+type table struct {
+	n     int
+	basis [][]float64
+}
+
+var (
+	tableMu sync.Mutex
+	tables  = map[int]*table{}
+)
+
+func tableFor(n int) *table {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	if t, ok := tables[n]; ok {
+		return t
+	}
+	t := &table{n: n, basis: make([][]float64, n)}
+	for k := 0; k < n; k++ {
+		row := make([]float64, n)
+		c := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			c = math.Sqrt(1 / float64(n))
+		}
+		for i := 0; i < n; i++ {
+			row[i] = c * math.Cos(math.Pi*(2*float64(i)+1)*float64(k)/(2*float64(n)))
+		}
+		t.basis[k] = row
+	}
+	tables[n] = t
+	return t
+}
+
+// Forward1D writes the DCT-II of src into dst. len(src) and len(dst) must
+// be equal; they may not alias.
+func Forward1D(dst, src []float64) {
+	t := tableFor(len(src))
+	for k := 0; k < t.n; k++ {
+		var s float64
+		row := t.basis[k]
+		for i, v := range src {
+			s += v * row[i]
+		}
+		dst[k] = s
+	}
+}
+
+// Inverse1D writes the DCT-III (inverse of Forward1D) of src into dst.
+func Inverse1D(dst, src []float64) {
+	t := tableFor(len(src))
+	for i := 0; i < t.n; i++ {
+		var s float64
+		for k, v := range src {
+			s += v * t.basis[k][i]
+		}
+		dst[i] = s
+	}
+}
+
+// Block is a square coefficient or sample block stored row-major.
+type Block struct {
+	N    int
+	Data []float64 // len N*N, row-major
+}
+
+// NewBlock allocates an N×N block.
+func NewBlock(n int) *Block {
+	return &Block{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns the element at row r, column c.
+func (b *Block) At(r, c int) float64 { return b.Data[r*b.N+c] }
+
+// Set assigns the element at row r, column c.
+func (b *Block) Set(r, c int, v float64) { b.Data[r*b.N+c] = v }
+
+// Forward2D computes the 2D DCT-II of src into dst (rows then columns).
+// Both blocks must have the same N. dst and src may alias.
+func Forward2D(dst, src *Block) {
+	n := src.N
+	tmp := make([]float64, n)
+	out := make([]float64, n)
+	inter := make([]float64, n*n)
+	// Transform rows.
+	for r := 0; r < n; r++ {
+		copy(tmp, src.Data[r*n:(r+1)*n])
+		Forward1D(out, tmp)
+		copy(inter[r*n:(r+1)*n], out)
+	}
+	// Transform columns.
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			tmp[r] = inter[r*n+c]
+		}
+		Forward1D(out, tmp)
+		for r := 0; r < n; r++ {
+			dst.Data[r*n+c] = out[r]
+		}
+	}
+}
+
+// Inverse2D computes the 2D inverse DCT of src into dst. dst and src may
+// alias.
+func Inverse2D(dst, src *Block) {
+	n := src.N
+	tmp := make([]float64, n)
+	out := make([]float64, n)
+	inter := make([]float64, n*n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			tmp[r] = src.Data[r*n+c]
+		}
+		Inverse1D(out, tmp)
+		for r := 0; r < n; r++ {
+			inter[r*n+c] = out[r]
+		}
+	}
+	for r := 0; r < n; r++ {
+		copy(tmp, inter[r*n:(r+1)*n])
+		Inverse1D(out, tmp)
+		copy(dst.Data[r*n:(r+1)*n], out)
+	}
+}

@@ -1,0 +1,205 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestForwardInverse1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 33} {
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.Float64()*255 - 128
+		}
+		coef := make([]float64, n)
+		back := make([]float64, n)
+		Forward1D(coef, src)
+		Inverse1D(back, coef)
+		for i := range src {
+			if !almostEqual(src[i], back[i], 1e-9) {
+				t.Fatalf("n=%d i=%d: got %g want %g", n, i, back[i], src[i])
+			}
+		}
+	}
+}
+
+func TestDCMatchesMean(t *testing.T) {
+	// For the orthonormal DCT the DC coefficient is mean * sqrt(N).
+	n := 8
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = 10
+	}
+	coef := make([]float64, n)
+	Forward1D(coef, src)
+	want := 10 * math.Sqrt(float64(n))
+	if !almostEqual(coef[0], want, 1e-9) {
+		t.Errorf("DC = %g, want %g", coef[0], want)
+	}
+	for k := 1; k < n; k++ {
+		if !almostEqual(coef[k], 0, 1e-9) {
+			t.Errorf("AC[%d] = %g, want 0 for constant input", k, coef[k])
+		}
+	}
+}
+
+func TestParseval1D(t *testing.T) {
+	// Orthonormal transform preserves energy.
+	rng := rand.New(rand.NewSource(2))
+	n := 16
+	src := make([]float64, n)
+	var es float64
+	for i := range src {
+		src[i] = rng.NormFloat64() * 50
+		es += src[i] * src[i]
+	}
+	coef := make([]float64, n)
+	Forward1D(coef, src)
+	var ec float64
+	for _, v := range coef {
+		ec += v * v
+	}
+	if !almostEqual(es, ec, 1e-6*es) {
+		t.Errorf("energy not preserved: %g vs %g", es, ec)
+	}
+}
+
+func TestForwardInverse2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 8, 32} {
+		src := NewBlock(n)
+		for i := range src.Data {
+			src.Data[i] = rng.Float64() * 255
+		}
+		coef := NewBlock(n)
+		back := NewBlock(n)
+		Forward2D(coef, src)
+		Inverse2D(back, coef)
+		for i := range src.Data {
+			if !almostEqual(src.Data[i], back.Data[i], 1e-8) {
+				t.Fatalf("n=%d i=%d: got %g want %g", n, i, back.Data[i], src.Data[i])
+			}
+		}
+	}
+}
+
+func TestForward2DAliasing(t *testing.T) {
+	// dst == src must be supported.
+	n := 8
+	b := NewBlock(n)
+	for i := range b.Data {
+		b.Data[i] = float64(i)
+	}
+	want := NewBlock(n)
+	Forward2D(want, b)
+	Forward2D(b, b)
+	for i := range b.Data {
+		if !almostEqual(b.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("aliased transform differs at %d", i)
+		}
+	}
+}
+
+func TestBlockAccessors(t *testing.T) {
+	b := NewBlock(4)
+	b.Set(2, 3, 7.5)
+	if got := b.At(2, 3); got != 7.5 {
+		t.Errorf("At(2,3) = %g, want 7.5", got)
+	}
+	if got := b.Data[2*4+3]; got != 7.5 {
+		t.Errorf("row-major layout violated: %g", got)
+	}
+}
+
+// Property: round-trip for arbitrary 8-length vectors.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(in [8]float64) bool {
+		src := make([]float64, 8)
+		for i, v := range in {
+			// Clamp quick's extreme values to a sane photo-like range.
+			src[i] = math.Mod(v, 1024)
+			if math.IsNaN(src[i]) {
+				src[i] = 0
+			}
+		}
+		coef := make([]float64, 8)
+		back := make([]float64, 8)
+		Forward1D(coef, src)
+		Inverse1D(back, coef)
+		for i := range src {
+			if !almostEqual(src[i], back[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity of the forward transform.
+func TestQuickLinearity(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		x := make([]float64, 8)
+		y := make([]float64, 8)
+		sum := make([]float64, 8)
+		for i := 0; i < 8; i++ {
+			x[i] = math.Mod(a[i], 512)
+			y[i] = math.Mod(b[i], 512)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+			if math.IsNaN(y[i]) {
+				y[i] = 0
+			}
+			sum[i] = x[i] + y[i]
+		}
+		cx := make([]float64, 8)
+		cy := make([]float64, 8)
+		cs := make([]float64, 8)
+		Forward1D(cx, x)
+		Forward1D(cy, y)
+		Forward1D(cs, sum)
+		for i := range cs {
+			if !almostEqual(cs[i], cx[i]+cy[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForward2D8(b *testing.B) {
+	src := NewBlock(8)
+	dst := NewBlock(8)
+	for i := range src.Data {
+		src.Data[i] = float64(i % 255)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward2D(dst, src)
+	}
+}
+
+func BenchmarkForward2D32(b *testing.B) {
+	src := NewBlock(32)
+	dst := NewBlock(32)
+	for i := range src.Data {
+		src.Data[i] = float64(i % 255)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward2D(dst, src)
+	}
+}

@@ -1,0 +1,69 @@
+package expt
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"irs/internal/browser"
+	"irs/internal/netsim"
+)
+
+// E10Scrolling regenerates the qualitative half of §4.3's prototype
+// claim: "we did not notice additional delay when scrolling through a
+// variety of web sites containing claimed images."
+//
+// The scroll model is the right lens for that observation: while a page
+// load races checks against body transfers (E4), a scrolled feed gives
+// every image a lazy-load lookahead budget, so a check is only *visible*
+// when it outlives that budget on an image the network had already
+// delivered. The sweep varies scroll speed and check latency; the
+// paper-shaped result is a wide all-zero region covering realistic
+// speeds and sub-250 ms checks, with visible stalls only under fast
+// flinging combined with slow checks.
+func E10Scrolling(scale Scale, seed int64) (*Report, error) {
+	r := &Report{
+		ID:         "e10",
+		Title:      "scroll sessions: when do checks become visible?",
+		PaperClaim: "no noticeable delay when scrolling claimed images (§4.3 prototype)",
+		Columns: []string{"scroll speed", "check", "checks", "baseline stalls",
+			"IRS-visible stalls", "added stall time"},
+	}
+	sessions := scale.pick(10, 100)
+
+	speeds := []struct {
+		name string
+		rps  float64
+	}{
+		{"leisurely (0.7 row/s)", 0.7},
+		{"brisk (2 rows/s)", 2},
+		{"flinging (6 rows/s)", 6},
+	}
+	checks := []time.Duration{100 * time.Millisecond, 250 * time.Millisecond, 1000 * time.Millisecond}
+	for _, sp := range speeds {
+		for _, check := range checks {
+			var agg browser.ScrollResult
+			images := 0
+			for s := 0; s < sessions; s++ {
+				spec := browser.FeedSpec(netsim.Fixed(check), sp.rps)
+				res := browser.ScrollSession(spec, browser.ModePipelined, mrand.New(mrand.NewSource(seed+int64(s))))
+				agg.BaselineStalls += res.BaselineStalls
+				agg.AddedStalls += res.AddedStalls
+				agg.AddedStallTime += res.AddedStallTime
+				agg.ChecksIssued += res.ChecksIssued
+				images += spec.NImages
+			}
+			r.AddRow(
+				sp.name,
+				check.String(),
+				fmt.Sprintf("%d", agg.ChecksIssued),
+				fmt.Sprintf("%.1f%%", float64(agg.BaselineStalls)/float64(images)*100),
+				fmt.Sprintf("%.1f%%", float64(agg.AddedStalls)/float64(images)*100),
+				agg.AddedStallTime.Round(time.Millisecond).String(),
+			)
+		}
+	}
+	r.AddNote("%d sessions × 200 images per cell; 8-row lazy-load lookahead, 6 connections, all images labeled", sessions)
+	r.AddNote("paper shape: zero IRS-visible stalls at human speeds with responsive checks; only flinging + slow checks surface")
+	return r, nil
+}

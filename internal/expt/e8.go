@@ -1,0 +1,82 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"irs/internal/tet"
+)
+
+// E8Adoption regenerates the paper's TET argument (§1, §4.1, §6): a
+// first-mover bootstrap (pro-privacy browsers + ledgers) grows the user
+// base and registered-photo population until incumbent aggregators'
+// incentives — privacy branding and legal liability — flip, "purely out
+// of self-interest". The paper ties the flip to the bootstrap design's
+// ~100 B-photo capacity (§4.4: "once the population of photos in the
+// bootstrap phase of IRS reaches anywhere close to 100 billion photos,
+// the ecosystem incentives will start to kick in").
+//
+// The sweep varies the two TET criteria knobs: first-mover share
+// (criterion i — is there a deployable bootstrap?) and liability weight
+// (criterion ii — do incumbent incentives actually flip?).
+func E8Adoption(scale Scale, seed int64) (*Report, error) {
+	r := &Report{
+		ID:         "e8",
+		Title:      "TET adoption dynamics: first movers × liability",
+		PaperClaim: "bootstrap adoption flips incumbent incentives near the 100B-photo scale (§1, §4.1, §4.4)",
+		Columns: []string{"first movers", "liability", "first incumbent (mo)", "full adoption (mo)",
+			"final users", "final photos (B)"},
+	}
+	firstMovers := []float64{0, 0.02, 0.05, 0.08, 0.15}
+	liabilities := []float64{0.5, 1.0, 2.0, 4.0}
+	if scale == Quick {
+		firstMovers = []float64{0, 0.08}
+		liabilities = []float64{0.5, 2.0}
+	}
+	pts, err := tet.Sweep(tet.DefaultParams(), firstMovers, liabilities)
+	if err != nil {
+		return nil, err
+	}
+	fmtMonth := func(m int) string {
+		if m < 0 {
+			return "never"
+		}
+		return fmt.Sprintf("%d", m)
+	}
+	for _, pt := range pts {
+		r.AddRow(
+			fmt.Sprintf("%.0f%%", pt.FirstMoverShare*100),
+			fmt.Sprintf("%.1f", pt.LiabilityWeight),
+			fmtMonth(pt.FirstIncumbentMonth),
+			fmtMonth(pt.FullAdoptionMonth),
+			fmt.Sprintf("%.0f%%", pt.FinalUserAdoption*100),
+			fmt.Sprintf("%.0f", pt.FinalPhotos),
+		)
+	}
+
+	// Baseline narrative timeline: adoption order and the photo trigger.
+	res, err := tet.Run(tet.DefaultParams(), tet.DefaultAggregators())
+	if err != nil {
+		return nil, err
+	}
+	type ev struct {
+		name  string
+		month int
+	}
+	var events []ev
+	for name, m := range res.AdoptionMonth {
+		events = append(events, ev{name, m})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].month < events[j].month })
+	order := ""
+	for i, e := range events {
+		if i > 0 {
+			order += " → "
+		}
+		order += fmt.Sprintf("%s@%d", e.name, e.month)
+	}
+	r.AddNote("baseline (8%% first movers, liability 2.0): adoption order %s", order)
+	r.AddNote("baseline photo base crossed the 100B trigger at month %d", res.TriggerMonth)
+	r.AddNote("shape: zero first movers never transforms (criterion i); stronger liability flips engagement-driven incumbents earlier (criterion ii)")
+	return r, nil
+}

@@ -1,0 +1,307 @@
+package expt
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runQuick executes an experiment at Quick scale and sanity-checks the
+// report structure.
+func runQuick(t *testing.T, id string) *Report {
+	t.Helper()
+	run, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	r, err := run(Quick, 42)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if r.ID != id {
+		t.Errorf("%s: report id %q", id, r.ID)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatalf("%s: empty report", id)
+	}
+	for i, row := range r.Rows {
+		if len(row) != len(r.Columns) {
+			t.Errorf("%s row %d: %d cells for %d columns", id, i, len(row), len(r.Columns))
+		}
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), strings.ToUpper(id)) {
+		t.Errorf("%s: rendering missing header", id)
+	}
+	return r
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+		"ablation-filters", "ablation-watermark", "ablation-propagation"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("registry[%d] = %q, want %q", i, all[i].ID, id)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+}
+
+// parsePct extracts a leading float from "2.13%".
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE1ShapeMatchesPaper(t *testing.T) {
+	r := runQuick(t, "e1")
+	// The analytic paper rows (last two) must show ~2%.
+	for _, row := range r.Rows[len(r.Rows)-2:] {
+		fpr := parsePct(t, row[5])
+		if fpr < 1.5 || fpr > 2.5 {
+			t.Errorf("paper point FPR %.3f%%, want ~2%%", fpr)
+		}
+	}
+	// Measured rows must be within 2x of ~2%.
+	for _, row := range r.Rows[:len(r.Rows)-2] {
+		fpr := parsePct(t, row[4])
+		if fpr < 1.0 || fpr > 4.0 {
+			t.Errorf("measured FPR %.3f%% far from design 2%%", fpr)
+		}
+	}
+}
+
+func TestE2ShapeMatchesPaper(t *testing.T) {
+	r := runQuick(t, "e2")
+	if len(r.Rows) != 5 {
+		t.Fatalf("%d arms", len(r.Rows))
+	}
+	reduction := func(row []string) float64 {
+		red := strings.TrimSuffix(row[4], "x")
+		v, err := strconv.ParseFloat(red, 64)
+		if err != nil {
+			t.Fatalf("parsing reduction %q: %v", row[4], err)
+		}
+		return v
+	}
+	// The paper-sized (2% FPR) filter arm: its queries/view must sit
+	// between the revoked-view floor (0.5%) and the paper's 2.5%
+	// arithmetic ceiling (with Zipf-sampling slack). The reduction
+	// factor itself is noisy at Quick scale because false-positive
+	// photos are few and Zipf weights are concentrated.
+	qpv, err := strconv.ParseFloat(r.Rows[2][3], 64)
+	if err != nil {
+		t.Fatalf("parsing queries/view %q: %v", r.Rows[2][3], err)
+	}
+	if qpv < 0.005 || qpv > 0.06 {
+		t.Errorf("paper-2%% arm queries/view %.4f outside the §4.4 arithmetic band", qpv)
+	}
+	if v := reduction(r.Rows[2]); v < 15 {
+		t.Errorf("paper-2%% arm reduction %.1fx", v)
+	}
+	// The remaining filter arms must reduce at least as much.
+	for _, row := range r.Rows[3:] {
+		if v := reduction(row); v < 15 {
+			t.Errorf("arm %q reduction %.1fx", row[0], v)
+		}
+	}
+}
+
+func TestE3ShapeMatchesPaper(t *testing.T) {
+	r := runQuick(t, "e3")
+	// At 100ms checks (row index 2), even the naive blocking design's
+	// median relative overhead must be a small fraction — single-digit
+	// percent — and pipelining must beat it.
+	over := parsePct(t, r.Rows[2][2])
+	if over > 10 {
+		t.Errorf("100ms naive median overhead %.2f%% — paper says a small fraction", over)
+	}
+	// Baseline slow share matches the cited >60%.
+	slow := parsePct(t, r.Rows[0][5])
+	if slow < 50 {
+		t.Errorf("only %.0f%% of baseline sites over 2.5s", slow)
+	}
+}
+
+func TestE4ShapeMatchesPaper(t *testing.T) {
+	r := runQuick(t, "e4")
+	// Find pipelined rows at 240ms (clean) and 400ms (stalls).
+	var clean, dirty []string
+	for _, row := range r.Rows {
+		if row[1] != "pipelined" {
+			continue
+		}
+		switch row[0] {
+		case "240ms":
+			clean = row
+		case "400ms":
+			dirty = row
+		}
+	}
+	if clean == nil || dirty == nil {
+		t.Fatal("missing sweep rows")
+	}
+	if parsePct(t, clean[4]) != 0 {
+		t.Errorf("240ms pipelined has stalls: %v", clean)
+	}
+	if parsePct(t, dirty[4]) == 0 {
+		t.Errorf("400ms pipelined shows no stalls: %v", dirty)
+	}
+}
+
+func TestE5ShapeMatchesPaper(t *testing.T) {
+	r := runQuick(t, "e5")
+	// Low churn must show a large saving.
+	saving := strings.TrimSuffix(r.Rows[0][5], "x")
+	v, err := strconv.ParseFloat(saving, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", r.Rows[0][5], err)
+	}
+	if v < 5 {
+		t.Errorf("1%% churn delta saving %.1fx — expected large", v)
+	}
+}
+
+func TestE6ShapeMatchesPaper(t *testing.T) {
+	r := runQuick(t, "e6")
+	byName := map[string][]string{}
+	for _, row := range r.Rows {
+		byName[row[0]] = row
+	}
+	// Identity: everything survives.
+	if parsePct(t, byName["identity"][3]) != 100 {
+		t.Errorf("identity label recovery %v", byName["identity"])
+	}
+	// Strip: metadata dies, label still recoverable via watermark.
+	if parsePct(t, byName["strip-meta"][1]) != 0 {
+		t.Error("strip kept metadata")
+	}
+	if parsePct(t, byName["strip-meta"][3]) < 80 {
+		t.Errorf("label recovery after strip %v", byName["strip-meta"][3])
+	}
+	// The paper's three named manipulations keep the label recoverable.
+	for _, name := range []string{"jpeg-q75", "tint-warm", "crop-90+jpeg80"} {
+		if parsePct(t, byName[name][3]) < 80 {
+			t.Errorf("%s label recovery %s — Goal #5 violated", name, byName[name][3])
+		}
+	}
+}
+
+func TestE7ShapeMatchesPaper(t *testing.T) {
+	r := runQuick(t, "e7")
+	for _, row := range r.Rows {
+		frac := func(cell string) (num, den int) {
+			parts := strings.Split(cell, "/")
+			n, _ := strconv.Atoi(parts[0])
+			d, _ := strconv.Atoi(parts[1])
+			return n, d
+		}
+		an, ad := frac(row[1])
+		if an != ad {
+			t.Errorf("%s: attack worked %d/%d — paper says automation cannot stop it", row[0], an, ad)
+		}
+		un, ud := frac(row[2])
+		if un < ud*3/4 {
+			t.Errorf("%s: appeals upheld only %d/%d", row[0], un, ud)
+		}
+		fn, _ := frac(row[3])
+		if fn != 0 {
+			t.Errorf("%s: framing upheld %d times", row[0], fn)
+		}
+	}
+}
+
+func TestE8ShapeMatchesPaper(t *testing.T) {
+	r := runQuick(t, "e8")
+	for _, row := range r.Rows {
+		if row[0] == "0%" && row[2] != "never" {
+			t.Errorf("zero first movers transformed: %v", row)
+		}
+		if row[0] == "8%" && row[1] == "2.0" && row[2] == "never" {
+			t.Errorf("baseline never transformed: %v", row)
+		}
+	}
+}
+
+func TestE9RunsOverHTTP(t *testing.T) {
+	r := runQuick(t, "e9")
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+}
+
+func TestE10ShapeMatchesPaper(t *testing.T) {
+	r := runQuick(t, "e10")
+	for _, row := range r.Rows {
+		visible := parsePct(t, row[4])
+		switch {
+		case row[0] == "leisurely (0.7 row/s)":
+			// The prototype regime: nothing visible at any tested check
+			// latency.
+			if visible != 0 {
+				t.Errorf("leisurely scroll with %s checks: %.1f%% visible stalls", row[1], visible)
+			}
+		case row[0] == "flinging (6 rows/s)" && row[1] == "1s":
+			if visible == 0 {
+				t.Errorf("flinging with 1s checks shows nothing — model insensitive")
+			}
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	fr := runQuick(t, "ablation-filters")
+	if len(fr.Rows) != 3 {
+		t.Errorf("filter ablation rows %d", len(fr.Rows))
+	}
+	// Xor FPR must be well below the Bloom paper sizing.
+	xor := parsePct(t, fr.Rows[2][2])
+	blm := parsePct(t, fr.Rows[0][2])
+	if xor >= blm {
+		t.Errorf("xor FPR %.3f%% not below bloom %.3f%%", xor, blm)
+	}
+	wr := runQuick(t, "ablation-watermark")
+	if len(wr.Rows) != 4 {
+		t.Errorf("watermark ablation rows %d", len(wr.Rows))
+	}
+	pr := runQuick(t, "ablation-propagation")
+	if len(pr.Rows) != 4 {
+		t.Errorf("propagation ablation rows %d", len(pr.Rows))
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	// E2/E5/E7/E9 issue CSPRNG photo identifiers, so their exact cell
+	// values legitimately vary run to run; the shape tests above pin
+	// what matters. These four are fully seed-deterministic.
+	for _, id := range []string{"e1", "e3", "e4", "e8"} {
+		run, _ := Get(id)
+		a, err := run(Quick, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := run(Quick, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ba, bb bytes.Buffer
+		a.Fprint(&ba)
+		b.Fprint(&bb)
+		if ba.String() != bb.String() {
+			t.Errorf("%s not deterministic under a fixed seed", id)
+		}
+	}
+}

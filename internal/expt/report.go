@@ -1,0 +1,116 @@
+// Package expt is the experiment harness: one function per paper claim
+// (E1–E10, indexed in DESIGN.md), each regenerating the corresponding
+// numbers as a printable table. cmd/irs-bench runs them from the command
+// line; the repository-root bench_test.go wraps each in a testing.B
+// benchmark so `go test -bench` regenerates everything.
+//
+// Every experiment accepts a Scale so tests can run a fast variant while
+// the bench harness runs the full workload, and a seed so results are
+// exactly reproducible.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Scale selects workload size.
+type Scale int
+
+const (
+	// Quick runs in well under a second per experiment; used by unit
+	// tests and smoke runs.
+	Quick Scale = iota
+	// Full is the published workload the committed EXPERIMENTS.md
+	// numbers come from.
+	Full
+)
+
+// pick returns q under Quick and f under Full.
+func (s Scale) pick(q, f int) int {
+	if s == Quick {
+		return q
+	}
+	return f
+}
+
+// Report is one experiment's regenerated table.
+type Report struct {
+	// ID is the experiment identifier (e1..e9, ablation-*).
+	ID string
+	// Title is the one-line description.
+	Title string
+	// PaperClaim quotes or paraphrases what the paper asserts.
+	PaperClaim string
+	// Columns and Rows form the table.
+	Columns []string
+	Rows    [][]string
+	// Notes carry caveats and measured summaries.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a formatted note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the report.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", strings.ToUpper(r.ID), r.Title)
+	fmt.Fprintf(w, "paper: %s\n\n", r.PaperClaim)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Columns, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner is an experiment entry point.
+type Runner func(scale Scale, seed int64) (*Report, error)
+
+// All returns the experiment registry in presentation order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"e1", E1BloomSizing},
+		{"e2", E2LedgerLoad},
+		{"e3", E3ViewingLatency},
+		{"e4", E4PipelinedChecks},
+		{"e5", E5DeltaUpdates},
+		{"e6", E6Robustness},
+		{"e7", E7Appeals},
+		{"e8", E8Adoption},
+		{"e9", E9EndToEnd},
+		{"e10", E10Scrolling},
+		{"ablation-filters", AblationFilters},
+		{"ablation-watermark", AblationWatermark},
+		{"ablation-propagation", AblationPropagation},
+	}
+}
+
+// Get returns the runner for an experiment ID.
+func Get(id string) (Runner, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,30 @@
+package ids
+
+import "testing"
+
+// FuzzParse hammers the identifier parser: it must never panic, and any
+// input it accepts must round-trip exactly.
+func FuzzParse(f *testing.F) {
+	id, err := New(7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(id.String())
+	f.Add("")
+	f.Add("0000000000000000000000000000")
+	f.Add("!!!!////")
+	f.Add("ZZZZZZZZZZZZZZZZZZZZZZZZZZZZ")
+	f.Fuzz(func(t *testing.T, s string) {
+		parsed, err := Parse(s)
+		if err != nil {
+			return
+		}
+		// Accepted identifiers must re-render to a string that parses to
+		// the same value (canonical form may differ from the input due
+		// to case/alias folding).
+		again, err := Parse(parsed.String())
+		if err != nil || again != parsed {
+			t.Fatalf("accepted %q but round trip failed: %v", s, err)
+		}
+	})
+}

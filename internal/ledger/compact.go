@@ -1,0 +1,130 @@
+package ledger
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Compaction: the write-ahead log grows without bound under claim and
+// revocation traffic (a busy ledger appends one line per operation).
+// Compact folds the entire current state into dir/snapshot.json and
+// truncates the log; recovery loads the snapshot first and replays
+// whatever the log accumulated afterwards. The snapshot write is
+// atomic (tmp + rename), so a crash at any point leaves either the old
+// snapshot + full log or the new snapshot + empty log — both recover
+// to identical state.
+
+const snapshotFile = "snapshot.json"
+
+// Compact persists a state snapshot and truncates the WAL. It is a
+// no-op for in-memory ledgers.
+func (l *Ledger) Compact() error {
+	if l.wal == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	entries := make([]walEntry, 0, len(l.records))
+	for _, rec := range l.records {
+		entries = append(entries, walEntry{
+			T:         "claim",
+			ID:        rec.ID.String(),
+			PubKey:    rec.PubKey,
+			HashSig:   rec.HashSig,
+			Hash:      rec.ContentHash[:],
+			Token:     rec.Timestamp.Marshal(),
+			State:     int(rec.State),
+			Custodial: rec.Custodial,
+			Seq:       rec.OpSeq,
+		})
+	}
+	dir := filepath.Dir(l.wal.path)
+	tmp := filepath.Join(dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ledger: creating snapshot: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(entries); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ledger: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ledger: publishing snapshot: %w", err)
+	}
+	// The snapshot now covers everything; empty the log.
+	if err := l.wal.truncateAll(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// truncateAll empties the log file and resets the writer.
+func (w *wal) truncateAll() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("ledger: truncating wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// loadSnapshot applies dir/snapshot.json into the ledger maps if it
+// exists. Called before WAL replay during recovery.
+func loadSnapshot(dir string, l *Ledger) error {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("ledger: reading snapshot: %w", err)
+	}
+	var entries []walEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("ledger: parsing snapshot: %w", err)
+	}
+	for i := range entries {
+		if err := applyEntry(l, &entries[i]); err != nil {
+			return fmt.Errorf("ledger: applying snapshot entry: %w", err)
+		}
+	}
+	return nil
+}
+
+// WALSize reports the current log size in bytes, for compaction
+// scheduling and tests.
+func (l *Ledger) WALSize() (int64, error) {
+	if l.wal == nil {
+		return 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.wal.w.Flush(); err != nil {
+		return 0, err
+	}
+	st, err := l.wal.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,182 @@
+package ledger
+
+import (
+	"testing"
+
+	"irs/internal/bloom"
+	"irs/internal/ids"
+)
+
+func TestSnapshotBeforeBuild(t *testing.T) {
+	l := newLedger(t)
+	if _, _, err := l.FilterSnapshot(); err != ErrNoSnapshot {
+		t.Errorf("got %v, want ErrNoSnapshot", err)
+	}
+	if _, _, err := l.FilterDelta(0); err != ErrNoSnapshot {
+		t.Errorf("delta: got %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestSnapshotContainsRevoked(t *testing.T) {
+	l := newLedger(t)
+	var revokedIDs, activeIDs []ids.PhotoID
+	for i := 0; i < 50; i++ {
+		o := newOwner(t)
+		r := o.claim(t, l, hashOf(string(rune('a'+i))), i%2 == 0)
+		if i%2 == 0 {
+			revokedIDs = append(revokedIDs, r.ID)
+		} else {
+			activeIDs = append(activeIDs, r.ID)
+		}
+	}
+	seq, err := l.BuildSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Errorf("first epoch = %d, want 1", seq)
+	}
+	gotSeq, f, err := l.FilterSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSeq != seq {
+		t.Errorf("snapshot seq %d != built %d", gotSeq, seq)
+	}
+	for _, id := range revokedIDs {
+		if !f.Test(FilterKey(id)) {
+			t.Errorf("revoked id %v missing from filter — would break 'miss means not revoked'", id)
+		}
+	}
+	// Active ids should mostly miss (false positives allowed at ~2%,
+	// and the min-population floor makes them far rarer here).
+	hits := 0
+	for _, id := range activeIDs {
+		if f.Test(FilterKey(id)) {
+			hits++
+		}
+	}
+	if hits > len(activeIDs)/4 {
+		t.Errorf("%d/%d active ids hit the revocation filter", hits, len(activeIDs))
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	l := newLedger(t)
+	owners := make([]*owner, 0, 40)
+	receipts := make([]Receipt, 0, 40)
+	for i := 0; i < 40; i++ {
+		o := newOwner(t)
+		owners = append(owners, o)
+		receipts = append(receipts, o.claim(t, l, hashOf("d"+string(rune(i))), false))
+	}
+	seq1, err := l.BuildSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f1, err := l.FilterSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Revoke ten photos, build epoch 2.
+	for i := 0; i < 10; i++ {
+		if err := l.Apply(receipts[i].ID, OpRevoke, owners[i].signOp(receipts[i].ID, OpRevoke, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq2, err := l.BuildSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 != seq1+1 {
+		t.Errorf("epoch 2 = %d", seq2)
+	}
+	delta, latest, err := l.FilterDelta(seq1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != seq2 {
+		t.Errorf("latest = %d, want %d", latest, seq2)
+	}
+	// Applying the delta to epoch 1 must produce a filter containing the
+	// newly revoked ids.
+	if err := bloom.Apply(f1, delta); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !f1.Test(FilterKey(receipts[i].ID)) {
+			t.Errorf("delta-updated filter missing revoked id %d", i)
+		}
+	}
+	// A delta should be far smaller than the full snapshot.
+	_, f2, err := l.FilterSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) >= len(f2.Marshal())/2 {
+		t.Errorf("delta %d bytes vs full %d — not a saving", len(delta), len(f2.Marshal()))
+	}
+}
+
+func TestSnapshotDeltaSameEpoch(t *testing.T) {
+	l := newLedger(t)
+	if _, err := l.BuildSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	delta, latest, err := l.FilterDelta(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != 1 {
+		t.Errorf("latest = %d", latest)
+	}
+	_, f, err := l.FilterSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bloom.Apply(f, delta); err != nil {
+		t.Fatalf("empty delta should apply cleanly: %v", err)
+	}
+}
+
+func TestSnapshotDeltaAheadAndGone(t *testing.T) {
+	l := newLedger(t)
+	if _, err := l.BuildSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.FilterDelta(99); err != ErrSnapshotAhead {
+		t.Errorf("future epoch: got %v, want ErrSnapshotAhead", err)
+	}
+}
+
+func TestSnapshotHistoryEviction(t *testing.T) {
+	l, err := New(Config{ID: 5, FilterHistory: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := l.BuildSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epochs 1 and 2 must be evicted with history 3 (epochs 3,4,5 kept).
+	if _, _, err := l.FilterDelta(1); err != ErrSnapshotGone {
+		t.Errorf("evicted epoch: got %v, want ErrSnapshotGone", err)
+	}
+	if _, _, err := l.FilterDelta(3); err != nil {
+		t.Errorf("retained epoch: %v", err)
+	}
+}
+
+func TestFilterKeyStable(t *testing.T) {
+	id := mustID(t)
+	if FilterKey(id) != FilterKey(id) {
+		t.Error("FilterKey not deterministic")
+	}
+	other := mustID(t)
+	if FilterKey(id) == FilterKey(other) {
+		t.Error("distinct ids collided (astronomically unlikely)")
+	}
+}

@@ -1,0 +1,41 @@
+package ledger
+
+import (
+	"crypto/ed25519"
+	"testing"
+)
+
+// FuzzUnmarshalProof: hostile status proofs must error, never panic,
+// and never verify under a key they weren't signed with.
+func FuzzUnmarshalProof(f *testing.F) {
+	l, err := New(Config{ID: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer l.Close()
+	o := newOwner(f)
+	r, err := l.Claim(hashOf("fuzz"), o.pub, ed25519.Sign(o.priv, ClaimMsg(hashOf("fuzz"))), false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := l.Status(r.ID)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(p.Marshal())
+	f.Add([]byte("irs-status-v1:"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalProof(data)
+		if err != nil {
+			return
+		}
+		// Mutated proofs that still parse must not verify unless they
+		// are byte-identical to the genuine one.
+		if err := VerifyProof(l.SigningKey(), got, got.IssuedAt, 0); err == nil {
+			if string(data) != string(p.Marshal()) {
+				t.Fatalf("forged proof verified")
+			}
+		}
+	})
+}

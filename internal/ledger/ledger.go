@@ -1,0 +1,459 @@
+// Package ledger implements the IRS ledger: "essentially a timestamped
+// database of photos" (paper §3.1) supporting the four basic operations —
+// Claiming, Labeling (client-side; the ledger's part is issuing the
+// identifier), Revoking, and Validating.
+//
+// A claim records exactly what §3.2 prescribes: "the ledger records the
+// encrypted hash, the public key, an authenticated timestamp (as in [1]),
+// and a Boolean 'revoked' flag, and then hands back a unique identifier".
+// The "encrypted hash" is realized as an Ed25519 signature by the photo's
+// private key over the content hash — the construction that actually
+// provides proof of ownership — and the authenticated timestamp is an
+// RFC 3161-style token from the ledger's timestamp authority
+// (internal/tsa).
+//
+// Owner privacy (§3.2): nothing in a record links to an identity — only
+// the per-photo public key. Revocation and unrevocation are authorized by
+// signatures from that key, with a per-record operation sequence number
+// for replay protection.
+//
+// Additional behaviours from the paper:
+//
+//   - permanent revocation, applied by the appeals process (§3.2), which
+//     also blocks future unrevoke;
+//   - custodial claims, made by aggregators on behalf of unlabeled
+//     uploads (§3.2: "claim it (and watermark it) in a custodial role");
+//   - a non-revocable policy mode for ledgers documenting human-rights
+//     material (§5, "Enabling Censorship?"): claims are accepted but
+//     revocation is refused;
+//   - Bloom-filter snapshots of the currently revoked population with
+//     numbered epochs and delta updates (§4.4), served to proxies;
+//   - durable state via a write-ahead log plus snapshots (wal.go).
+package ledger
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"irs/internal/bloom"
+	"irs/internal/ids"
+	"irs/internal/tsa"
+)
+
+// State is the lifecycle state of a claim.
+type State int
+
+const (
+	// StateUnknown is returned for identifiers the ledger has never
+	// issued.
+	StateUnknown State = iota
+	// StateActive means claimed and not revoked: viewing and sharing are
+	// permitted.
+	StateActive
+	// StateRevoked means the owner has revoked the photo.
+	StateRevoked
+	// StatePermanentlyRevoked means the appeals process has revoked the
+	// photo with no possibility of unrevocation.
+	StatePermanentlyRevoked
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateRevoked:
+		return "revoked"
+	case StatePermanentlyRevoked:
+		return "permanently-revoked"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is a signed owner operation.
+type Op byte
+
+const (
+	// OpRevoke flips a claim to revoked.
+	OpRevoke Op = 1
+	// OpUnrevoke flips a claim back to active.
+	OpUnrevoke Op = 2
+)
+
+// Record is one claim. Fields are exported for persistence; mutate only
+// through Ledger methods.
+type Record struct {
+	ID ids.PhotoID
+	// PubKey is the photo's public key; the only identity in the record.
+	PubKey ed25519.PublicKey
+	// HashSig is the owner's signature over the content hash (the
+	// paper's "encrypted hash").
+	HashSig []byte
+	// ContentHash is the SHA-256 of the photo the claim covers.
+	ContentHash [32]byte
+	// Timestamp is the authenticated claim-time token.
+	Timestamp *tsa.Token
+	// State is the current lifecycle state.
+	State State
+	// OpSeq counts accepted owner operations; signatures must cover the
+	// next value, preventing replay of old revoke/unrevoke messages.
+	OpSeq uint64
+	// Custodial marks claims made by an aggregator on behalf of an
+	// unlabeled upload.
+	Custodial bool
+}
+
+// Config parameterizes a ledger.
+type Config struct {
+	// ID is the ledger's identifier, embedded in every issued PhotoID.
+	ID ids.LedgerID
+	// Dir is the persistence directory; empty means in-memory only.
+	Dir string
+	// NonRevocable refuses revocation (the §5 human-rights ledger
+	// policy).
+	NonRevocable bool
+	// Clock supplies time; nil means time.Now. Simulations inject
+	// virtual clocks.
+	Clock func() time.Time
+	// FilterFPR is the target false-positive rate for revocation filter
+	// snapshots; zero means the paper's 2%.
+	FilterFPR float64
+	// FilterHistory is how many past snapshots to retain for delta
+	// service; zero means 25 (a day of hourly snapshots, plus one).
+	FilterHistory int
+}
+
+// Ledger is a single ledger instance. Safe for concurrent use.
+type Ledger struct {
+	cfg   Config
+	clock func() time.Time
+
+	mu      sync.RWMutex
+	records map[ids.PhotoID]*Record
+	revoked map[ids.PhotoID]bool // current revoked set (incl. permanent)
+
+	tsa     *tsa.Authority
+	signPub ed25519.PublicKey
+	signKey ed25519.PrivateKey
+
+	wal *wal
+
+	// Filter snapshot state.
+	snapSeq    uint64
+	snapshots  map[uint64]*bloom.Filter
+	snapOrder  []uint64
+	maxHistory int
+
+	metrics Metrics
+}
+
+// Ledger errors.
+var (
+	ErrNotFound     = errors.New("ledger: no such claim")
+	ErrBadSignature = errors.New("ledger: ownership signature invalid")
+	ErrNonRevocable = errors.New("ledger: this ledger does not permit revocation")
+	ErrPermanent    = errors.New("ledger: claim is permanently revoked")
+	ErrBadOpSeq     = errors.New("ledger: operation sequence mismatch (replay?)")
+	ErrDuplicate    = errors.New("ledger: content already claimed here by this key")
+)
+
+// New creates a ledger. If cfg.Dir is non-empty, prior state is recovered
+// from disk and future mutations are logged durably.
+func New(cfg Config) (*Ledger, error) {
+	if cfg.ID == 0 {
+		return nil, errors.New("ledger: ID must be nonzero")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	authority, err := tsa.NewWithClock(clock)
+	if err != nil {
+		return nil, err
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: keygen: %w", err)
+	}
+	fpr := cfg.FilterFPR
+	if fpr == 0 {
+		fpr = 0.02
+	}
+	cfg.FilterFPR = fpr
+	hist := cfg.FilterHistory
+	if hist == 0 {
+		hist = 25
+	}
+	l := &Ledger{
+		cfg:        cfg,
+		clock:      clock,
+		records:    make(map[ids.PhotoID]*Record),
+		revoked:    make(map[ids.PhotoID]bool),
+		tsa:        authority,
+		signPub:    pub,
+		signKey:    priv,
+		snapshots:  make(map[uint64]*bloom.Filter),
+		maxHistory: hist,
+	}
+	if cfg.Dir != "" {
+		w, err := openWAL(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		// Recovery order: compacted snapshot first (if any), then the
+		// operations logged since it was taken.
+		if err := loadSnapshot(cfg.Dir, l); err != nil {
+			w.close()
+			return nil, err
+		}
+		if err := w.replay(l); err != nil {
+			w.close()
+			return nil, err
+		}
+		l.wal = w
+	}
+	return l, nil
+}
+
+// ID returns the ledger identifier.
+func (l *Ledger) ID() ids.LedgerID { return l.cfg.ID }
+
+// SigningKey returns the public key that verifies status proofs.
+func (l *Ledger) SigningKey() ed25519.PublicKey { return l.signPub }
+
+// TimestampKey returns the public key that verifies claim timestamps.
+func (l *Ledger) TimestampKey() ed25519.PublicKey { return l.tsa.PublicKey() }
+
+// claimMsg is the canonical byte string an owner signs to claim.
+func claimMsg(contentHash [32]byte) []byte {
+	msg := make([]byte, 0, 14+32)
+	msg = append(msg, "irs-claim-v1:"...)
+	msg = append(msg, contentHash[:]...)
+	return msg
+}
+
+// opMsg is the canonical byte string an owner signs for a state change.
+func opMsg(id ids.PhotoID, op Op, seq uint64) []byte {
+	msg := make([]byte, 0, 11+16+1+8)
+	msg = append(msg, "irs-op-v1:"...)
+	b := id.Bytes()
+	msg = append(msg, b[:]...)
+	msg = append(msg, byte(op))
+	for i := 7; i >= 0; i-- {
+		msg = append(msg, byte(seq>>(8*i)))
+	}
+	return msg
+}
+
+// ClaimMsg exposes the canonical claim message for owner-side signing.
+func ClaimMsg(contentHash [32]byte) []byte { return claimMsg(contentHash) }
+
+// OpMsg exposes the canonical operation message for owner-side signing.
+func OpMsg(id ids.PhotoID, op Op, seq uint64) []byte { return opMsg(id, op, seq) }
+
+// Receipt is returned from a successful claim. The owner stores it with
+// the private key; the timestamp token is the evidence the appeals
+// process later relies on.
+type Receipt struct {
+	ID        ids.PhotoID
+	Timestamp *tsa.Token
+}
+
+// Claim registers a photo: pub is the per-photo public key and hashSig
+// the owner's signature over ClaimMsg(contentHash). The claim starts in
+// StateActive unless revokedAtBirth is set — supporting the §4.4 usage
+// pattern where "many photos will be automatically registered and
+// revoked (allowing an owner to manually unrevoke ones they want to
+// share)".
+func (l *Ledger) Claim(contentHash [32]byte, pub ed25519.PublicKey, hashSig []byte, revokedAtBirth bool) (Receipt, error) {
+	return l.claim(contentHash, pub, hashSig, revokedAtBirth, false)
+}
+
+// CustodialClaim registers a photo on behalf of an uploader that
+// presented no label (§3.2): the aggregator holds the key pair and may
+// later revoke if an appeal succeeds.
+func (l *Ledger) CustodialClaim(contentHash [32]byte, pub ed25519.PublicKey, hashSig []byte) (Receipt, error) {
+	return l.claim(contentHash, pub, hashSig, false, true)
+}
+
+func (l *Ledger) claim(contentHash [32]byte, pub ed25519.PublicKey, hashSig []byte, revokedAtBirth, custodial bool) (Receipt, error) {
+	if len(pub) != ed25519.PublicKeySize {
+		return Receipt{}, fmt.Errorf("%w: bad public key size %d", ErrBadSignature, len(pub))
+	}
+	if !ed25519.Verify(pub, claimMsg(contentHash), hashSig) {
+		return Receipt{}, ErrBadSignature
+	}
+	id, err := ids.New(l.cfg.ID)
+	if err != nil {
+		return Receipt{}, err
+	}
+	tok := l.tsa.Stamp(contentHash)
+	rec := &Record{
+		ID:          id,
+		PubKey:      append(ed25519.PublicKey(nil), pub...),
+		HashSig:     append([]byte(nil), hashSig...),
+		ContentHash: contentHash,
+		Timestamp:   tok,
+		State:       StateActive,
+		Custodial:   custodial,
+	}
+	if revokedAtBirth {
+		rec.State = StateRevoked
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records[id] = rec
+	if rec.State == StateRevoked {
+		l.revoked[id] = true
+	}
+	l.metrics.Claims.Add(1)
+	if l.wal != nil {
+		if err := l.wal.logClaim(rec); err != nil {
+			delete(l.records, id)
+			delete(l.revoked, id)
+			return Receipt{}, err
+		}
+	}
+	return Receipt{ID: id, Timestamp: tok}, nil
+}
+
+// Apply executes a signed owner operation: sig must cover
+// OpMsg(id, op, record.OpSeq+1) under the claim's public key.
+func (l *Ledger) Apply(id ids.PhotoID, op Op, sig []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.records[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if rec.State == StatePermanentlyRevoked {
+		return ErrPermanent
+	}
+	if op == OpRevoke && l.cfg.NonRevocable {
+		return ErrNonRevocable
+	}
+	next := rec.OpSeq + 1
+	if !ed25519.Verify(rec.PubKey, opMsg(id, op, next), sig) {
+		// Distinguish replay (valid signature over an old sequence
+		// number) from a plainly bad signature, for operator
+		// diagnostics. Scan a bounded window of recent sequence numbers.
+		low := uint64(1)
+		if rec.OpSeq > 32 {
+			low = rec.OpSeq - 32
+		}
+		for seq := rec.OpSeq; seq >= low; seq-- {
+			if ed25519.Verify(rec.PubKey, opMsg(id, op, seq), sig) {
+				return ErrBadOpSeq
+			}
+		}
+		return ErrBadSignature
+	}
+	prev := rec.State
+	switch op {
+	case OpRevoke:
+		rec.State = StateRevoked
+		l.revoked[id] = true
+	case OpUnrevoke:
+		rec.State = StateActive
+		delete(l.revoked, id)
+	default:
+		return fmt.Errorf("ledger: unknown op %d", op)
+	}
+	rec.OpSeq = next
+	l.metrics.Ops.Add(1)
+	if l.wal != nil {
+		if err := l.wal.logOp(id, op, next); err != nil {
+			rec.State = prev
+			rec.OpSeq = next - 1
+			if prev == StateRevoked {
+				l.revoked[id] = true
+			} else {
+				delete(l.revoked, id)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// PermanentRevoke marks a claim permanently revoked. Only the appeals
+// process calls this; it requires no owner signature because it is the
+// adjudicated override of a hostile claim (§3.2: "they then mark it as
+// permanently revoked"). Non-revocable ledgers refuse: §5's human-rights
+// ledgers "would deny the appeals process if it appeared the appeal was
+// done under duress" — this implementation denies it categorically.
+func (l *Ledger) PermanentRevoke(id ids.PhotoID) error {
+	if l.cfg.NonRevocable {
+		return ErrNonRevocable
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.records[id]
+	if !ok {
+		return ErrNotFound
+	}
+	prev := rec.State
+	rec.State = StatePermanentlyRevoked
+	l.revoked[id] = true
+	if l.wal != nil {
+		if err := l.wal.logPermanent(id); err != nil {
+			rec.State = prev
+			if prev != StateRevoked && prev != StatePermanentlyRevoked {
+				delete(l.revoked, id)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Status returns the claim state and a signed freshness proof. This is
+// the validation operation — the ledger-side half of "checking that a
+// photo has not been revoked" (§3.1). Unknown identifiers yield a signed
+// StateUnknown proof, so negative answers are also attributable.
+func (l *Ledger) Status(id ids.PhotoID) (*StatusProof, error) {
+	l.mu.RLock()
+	rec, ok := l.records[id]
+	var st State
+	if ok {
+		st = rec.State
+	}
+	l.mu.RUnlock()
+	l.metrics.Queries.Add(1)
+	return l.signStatus(id, st), nil
+}
+
+// Record returns a copy of the stored claim record; the appeals process
+// uses it to fetch the contested claim's public key and timestamp.
+func (l *Ledger) Record(id ids.PhotoID) (Record, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, ok := l.records[id]
+	if !ok {
+		return Record{}, ErrNotFound
+	}
+	cp := *rec
+	cp.PubKey = append(ed25519.PublicKey(nil), rec.PubKey...)
+	cp.HashSig = append([]byte(nil), rec.HashSig...)
+	return cp, nil
+}
+
+// Count returns total claims and currently revoked claims.
+func (l *Ledger) Count() (claims, revoked int) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.records), len(l.revoked)
+}
+
+// Close releases persistence resources.
+func (l *Ledger) Close() error {
+	if l.wal != nil {
+		return l.wal.close()
+	}
+	return nil
+}

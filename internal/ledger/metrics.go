@@ -1,0 +1,32 @@
+package ledger
+
+import "sync/atomic"
+
+// Metrics counts ledger operations. E2 reads Queries to measure the load
+// reduction the proxy/filter stack achieves; a real deployment would
+// export these to a metrics system.
+type Metrics struct {
+	Claims  atomic.Uint64
+	Ops     atomic.Uint64
+	Queries atomic.Uint64
+}
+
+// MetricsSnapshot is a plain-value copy of the counters.
+type MetricsSnapshot struct {
+	Claims  uint64
+	Ops     uint64
+	Queries uint64
+}
+
+// Metrics returns a point-in-time copy of the counters.
+func (l *Ledger) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		Claims:  l.metrics.Claims.Load(),
+		Ops:     l.metrics.Ops.Load(),
+		Queries: l.metrics.Queries.Load(),
+	}
+}
+
+// ResetQueryCount zeroes the query counter; experiments call this
+// between phases.
+func (l *Ledger) ResetQueryCount() { l.metrics.Queries.Store(0) }

@@ -1,0 +1,95 @@
+package ledger
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"irs/internal/ids"
+)
+
+// StatusProof is the ledger's signed answer to a validation query — the
+// OCSP-like attestation that aggregators forward to viewers (§3.2: the
+// aggregator "includes in metadata cryptographic proof that it has
+// recently verified the non-revoked status of the photo"; the proof it
+// forwards is this one).
+type StatusProof struct {
+	ID       ids.PhotoID
+	State    State
+	IssuedAt time.Time
+	Sig      []byte
+}
+
+func (p *StatusProof) canonical() []byte {
+	buf := make([]byte, 0, 16+1+8+16)
+	buf = append(buf, "irs-status-v1:"...)
+	b := p.ID.Bytes()
+	buf = append(buf, b[:]...)
+	buf = append(buf, byte(p.State))
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(p.IssuedAt.UnixNano()))
+	buf = append(buf, ts[:]...)
+	return buf
+}
+
+// signStatus builds and signs a proof at the current clock.
+func (l *Ledger) signStatus(id ids.PhotoID, st State) *StatusProof {
+	p := &StatusProof{ID: id, State: st, IssuedAt: l.clock().UTC()}
+	p.Sig = ed25519.Sign(l.signKey, p.canonical())
+	return p
+}
+
+// Proof verification errors.
+var (
+	ErrProofSignature = errors.New("ledger: status proof signature invalid")
+	ErrProofStale     = errors.New("ledger: status proof too old")
+)
+
+// VerifyProof checks a proof's signature against the ledger signing key
+// and, if maxAge > 0, its freshness relative to now.
+func VerifyProof(pub ed25519.PublicKey, p *StatusProof, now time.Time, maxAge time.Duration) error {
+	if !ed25519.Verify(pub, p.canonical(), p.Sig) {
+		return ErrProofSignature
+	}
+	if maxAge > 0 && now.Sub(p.IssuedAt) > maxAge {
+		return ErrProofStale
+	}
+	return nil
+}
+
+// Displayable reports whether a proof authorizes showing the photo:
+// only active claims may be displayed, saved, or reshared (§3.1,
+// Validating). Unknown claims are the caller's policy decision — the
+// aggregator rejects or custodially claims them — so Displayable is
+// false for them too.
+func (p *StatusProof) Displayable() bool { return p.State == StateActive }
+
+// Marshal encodes the proof for wire transport.
+func (p *StatusProof) Marshal() []byte {
+	c := p.canonical()
+	out := make([]byte, 0, len(c)+len(p.Sig))
+	out = append(out, c...)
+	out = append(out, p.Sig...)
+	return out
+}
+
+// UnmarshalProof decodes a proof produced by Marshal.
+func UnmarshalProof(b []byte) (*StatusProof, error) {
+	const hdr = 14 + 16 + 1 + 8
+	if len(b) != hdr+ed25519.SignatureSize {
+		return nil, errors.New("ledger: bad status proof length")
+	}
+	if string(b[:14]) != "irs-status-v1:" {
+		return nil, errors.New("ledger: bad status proof magic")
+	}
+	var raw [16]byte
+	copy(raw[:], b[14:30])
+	p := &StatusProof{
+		ID:       ids.FromBytes(raw),
+		State:    State(b[30]),
+		IssuedAt: time.Unix(0, int64(binary.BigEndian.Uint64(b[31:39]))).UTC(),
+		Sig:      append([]byte(nil), b[hdr:]...),
+	}
+	return p, nil
+}

@@ -1,0 +1,228 @@
+package ledger
+
+import (
+	"bufio"
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"irs/internal/ids"
+	"irs/internal/tsa"
+)
+
+// Durability: every mutation is appended to a JSON-lines write-ahead log
+// before the caller sees success (the in-memory update is rolled back if
+// the append fails). On startup the log is replayed; a torn final line —
+// the signature of a crash mid-append — is tolerated and truncated, and
+// anything after it is an error, because a torn line mid-file means
+// corruption rather than a crash.
+//
+// Signatures are NOT re-verified during replay: the log is the ledger's
+// own trusted record of operations it already verified.
+
+type walEntry struct {
+	T string `json:"t"` // "claim" | "op" | "perm"
+
+	// claim fields
+	ID        string `json:"id,omitempty"`
+	PubKey    []byte `json:"pub,omitempty"`
+	HashSig   []byte `json:"sig,omitempty"`
+	Hash      []byte `json:"hash,omitempty"`
+	Token     []byte `json:"tok,omitempty"`
+	State     int    `json:"state,omitempty"`
+	Custodial bool   `json:"cust,omitempty"`
+
+	// op fields
+	Op  int    `json:"op,omitempty"`
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+type wal struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	enc  *json.Encoder
+}
+
+func openWAL(dir string) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: opening wal: %w", err)
+	}
+	w := &wal{path: path, f: f}
+	w.w = bufio.NewWriter(f)
+	w.enc = json.NewEncoder(w.w)
+	return w, nil
+}
+
+// replay loads prior state into the ledger maps. Called before the wal
+// is used for appends.
+func (w *wal) replay(l *Ledger) error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(w.f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var offset int64
+	var torn bool
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e walEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			torn = true
+			break
+		}
+		if err := applyEntry(l, &e); err != nil {
+			return fmt.Errorf("ledger: replaying wal: %w", err)
+		}
+		offset += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("ledger: reading wal: %w", err)
+	}
+	if torn {
+		// Verify the torn line is the last content in the file, then
+		// truncate it away.
+		if err := w.f.Truncate(offset); err != nil {
+			return fmt.Errorf("ledger: truncating torn wal tail: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	return nil
+}
+
+func applyEntry(l *Ledger, e *walEntry) error {
+	switch e.T {
+	case "claim":
+		id, err := ids.Parse(e.ID)
+		if err != nil {
+			return err
+		}
+		tok, err := tsa.Unmarshal(e.Token)
+		if err != nil {
+			return err
+		}
+		if len(e.Hash) != 32 {
+			return errors.New("bad content hash length")
+		}
+		rec := &Record{
+			ID:        id,
+			PubKey:    ed25519.PublicKey(e.PubKey),
+			HashSig:   e.HashSig,
+			Timestamp: tok,
+			State:     State(e.State),
+			Custodial: e.Custodial,
+			// Seq is zero for live-WAL claims (claims start at op 0) and
+			// carries the accumulated OpSeq for snapshot entries.
+			OpSeq: e.Seq,
+		}
+		copy(rec.ContentHash[:], e.Hash)
+		l.records[id] = rec
+		if rec.State == StateRevoked || rec.State == StatePermanentlyRevoked {
+			l.revoked[id] = true
+		}
+	case "op":
+		id, err := ids.Parse(e.ID)
+		if err != nil {
+			return err
+		}
+		rec, ok := l.records[id]
+		if !ok {
+			return fmt.Errorf("op for unknown claim %s", e.ID)
+		}
+		switch Op(e.Op) {
+		case OpRevoke:
+			rec.State = StateRevoked
+			l.revoked[id] = true
+		case OpUnrevoke:
+			rec.State = StateActive
+			delete(l.revoked, id)
+		default:
+			return fmt.Errorf("unknown op %d in wal", e.Op)
+		}
+		rec.OpSeq = e.Seq
+	case "perm":
+		id, err := ids.Parse(e.ID)
+		if err != nil {
+			return err
+		}
+		rec, ok := l.records[id]
+		if !ok {
+			return fmt.Errorf("perm for unknown claim %s", e.ID)
+		}
+		rec.State = StatePermanentlyRevoked
+		l.revoked[id] = true
+	default:
+		return fmt.Errorf("unknown wal entry type %q", e.T)
+	}
+	return nil
+}
+
+func (w *wal) append(e *walEntry) error {
+	if err := w.enc.Encode(e); err != nil {
+		return fmt.Errorf("ledger: wal append: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("ledger: wal flush: %w", err)
+	}
+	return nil
+}
+
+func (w *wal) logClaim(rec *Record) error {
+	return w.append(&walEntry{
+		T:         "claim",
+		ID:        rec.ID.String(),
+		PubKey:    rec.PubKey,
+		HashSig:   rec.HashSig,
+		Hash:      rec.ContentHash[:],
+		Token:     rec.Timestamp.Marshal(),
+		State:     int(rec.State),
+		Custodial: rec.Custodial,
+	})
+}
+
+func (w *wal) logOp(id ids.PhotoID, op Op, seq uint64) error {
+	return w.append(&walEntry{T: "op", ID: id.String(), Op: int(op), Seq: seq})
+}
+
+func (w *wal) logPermanent(id ids.PhotoID) error {
+	return w.append(&walEntry{T: "perm", ID: id.String()})
+}
+
+// Sync flushes buffered appends to stable storage.
+func (w *wal) sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Sync forces WAL contents to stable storage; services call it on a
+// timer rather than per-operation to trade a bounded window of
+// durability for throughput.
+func (l *Ledger) Sync() error {
+	if l.wal == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wal.sync()
+}

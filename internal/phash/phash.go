@@ -1,0 +1,201 @@
+// Package phash implements perceptual (robust) image hashing.
+//
+// It is this repository's stand-in for PhotoDNA (paper §2, "Relevant
+// Technologies"; [13]), which is proprietary. IRS uses robust hashing in
+// two places: the appeals process compares an allegedly-copied photo with
+// the complainant's original (§3.2, "using robust hashing (as in
+// PhotoDNA) and/or human inspection"), and aggregators "keep a database
+// of robust hashes of their current content and check all newly uploaded
+// photos against this database".
+//
+// Three classic 64-bit hashes are provided:
+//
+//   - AHash: mean threshold over an 8×8 downscale — fastest, weakest;
+//   - DHash: horizontal gradient sign over a 9×8 downscale — robust to
+//     uniform brightness/contrast changes by construction;
+//   - PHash: sign of the 8×8 low-frequency corner (minus DC) of the DCT
+//     of a 32×32 downscale — the DCT variant closest in spirit to
+//     PhotoDNA, robust to compression, mild crops, and tinting.
+//
+// Similarity is Hamming distance; Match applies the conventional ≤
+// threshold decision. The appeals package combines PHash and DHash votes.
+package phash
+
+import (
+	"math"
+	"math/bits"
+
+	"irs/internal/dct"
+	"irs/internal/photo"
+)
+
+// Hash is a 64-bit perceptual hash.
+type Hash uint64
+
+// Distance returns the Hamming distance between two hashes (0..64).
+func Distance(a, b Hash) int { return bits.OnesCount64(uint64(a) ^ uint64(b)) }
+
+// DefaultThreshold is the conventional match cutoff for 64-bit perceptual
+// hashes: distances ≤ 10 indicate the images are variants of each other.
+const DefaultThreshold = 10
+
+// Match reports whether two hashes are within the threshold.
+func Match(a, b Hash, threshold int) bool { return Distance(a, b) <= threshold }
+
+// downscaleGray box-filters the luma plane to exactly w×h samples.
+// A box filter (rather than bilinear) makes the hash insensitive to the
+// high-frequency content that compression perturbs.
+func downscaleGray(im *photo.Image, w, h int) []float64 {
+	out := make([]float64, w*h)
+	for oy := 0; oy < h; oy++ {
+		y0 := oy * im.H / h
+		y1 := (oy + 1) * im.H / h
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		for ox := 0; ox < w; ox++ {
+			x0 := ox * im.W / w
+			x1 := (ox + 1) * im.W / w
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			var sum float64
+			for y := y0; y < y1 && y < im.H; y++ {
+				for x := x0; x < x1 && x < im.W; x++ {
+					sum += float64(im.Gray(x, y))
+				}
+			}
+			out[oy*w+ox] = sum / float64((y1-y0)*(x1-x0))
+		}
+	}
+	return out
+}
+
+// AHash computes the average hash: 8×8 downscale, bit set where the cell
+// exceeds the mean.
+func AHash(im *photo.Image) Hash {
+	cells := downscaleGray(im, 8, 8)
+	var mean float64
+	for _, v := range cells {
+		mean += v
+	}
+	mean /= 64
+	var h Hash
+	for i, v := range cells {
+		if v > mean {
+			h |= 1 << uint(i)
+		}
+	}
+	return h
+}
+
+// DHash computes the difference hash: 9×8 downscale, bit set where each
+// cell is brighter than its right neighbor.
+func DHash(im *photo.Image) Hash {
+	cells := downscaleGray(im, 9, 8)
+	var h Hash
+	i := 0
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if cells[y*9+x] > cells[y*9+x+1] {
+				h |= 1 << uint(i)
+			}
+			i++
+		}
+	}
+	return h
+}
+
+// PHash computes the DCT hash: 32×32 downscale, 2D DCT, then the sign of
+// each of the 64 lowest-frequency coefficients (excluding DC, which is
+// replaced by the next diagonal coefficient) against their median.
+func PHash(im *photo.Image) Hash {
+	cells := downscaleGray(im, 32, 32)
+	blk := &dct.Block{N: 32, Data: cells}
+	coef := dct.NewBlock(32)
+	dct.Forward2D(coef, blk)
+	// Collect the top-left 8×8 corner, skipping DC.
+	vals := make([]float64, 0, 64)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if x == 0 && y == 0 {
+				vals = append(vals, coef.At(8, 8))
+				continue
+			}
+			vals = append(vals, coef.At(y, x))
+		}
+	}
+	med := median(vals)
+	var h Hash
+	for i, v := range vals {
+		if v > med {
+			h |= 1 << uint(i)
+		}
+	}
+	return h
+}
+
+// median returns the median without modifying vals.
+func median(vals []float64) float64 {
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	// Insertion sort: n = 64, not worth pulling in sort for floats with
+	// NaN handling we don't need.
+	for i := 1; i < len(cp); i++ {
+		v := cp[i]
+		j := i - 1
+		for j >= 0 && cp[j] > v {
+			cp[j+1] = cp[j]
+			j--
+		}
+		cp[j+1] = v
+	}
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Signature is the multi-hash fingerprint stored in aggregator and
+// appeals databases: all three hashes, compared jointly.
+type Signature struct {
+	A, D, P Hash
+}
+
+// NewSignature computes all three hashes of an image.
+func NewSignature(im *photo.Image) Signature {
+	return Signature{A: AHash(im), D: DHash(im), P: PHash(im)}
+}
+
+// Similarity returns a score in [0, 1]: 1 means identical signatures,
+// computed as 1 minus the mean normalized Hamming distance.
+func (s Signature) Similarity(o Signature) float64 {
+	d := Distance(s.A, o.A) + Distance(s.D, o.D) + Distance(s.P, o.P)
+	return 1 - float64(d)/(3*64)
+}
+
+// Matches applies a two-of-three vote at the default threshold: the
+// decision rule the appeals adjudicator uses before escalating to human
+// inspection.
+func (s Signature) Matches(o Signature) bool {
+	votes := 0
+	if Match(s.A, o.A, DefaultThreshold) {
+		votes++
+	}
+	if Match(s.D, o.D, DefaultThreshold) {
+		votes++
+	}
+	if Match(s.P, o.P, DefaultThreshold) {
+		votes++
+	}
+	return votes >= 2
+}
+
+// ExpectedRandomDistance is the mean Hamming distance between hashes of
+// unrelated images (32 for ideal 64-bit hashes); exported for the E7
+// experiment's separation report.
+const ExpectedRandomDistance = 32
+
+// NormalizedDistance maps a raw distance to [0,1].
+func NormalizedDistance(d int) float64 { return math.Min(1, float64(d)/64) }

@@ -1,0 +1,227 @@
+package photo
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file implements two interchange formats:
+//
+//   - IRSP: a metadata-preserving container (magic "IRSP1") holding the
+//     pixel payload plus the full Metadata table. This stands in for
+//     C2PA-style metadata carriage (paper §2, "Relevant Technologies");
+//   - PGM/PPM (binary P5/P6): plain pixel export. Writing these DISCARDS
+//     metadata by construction, which is exactly the behaviour of sites
+//     that strip EXIF (paper Goal #5) — tests and experiments use a
+//     PGM/PPM round trip to model "metadata lost, watermark must carry
+//     the label".
+
+// ErrBadFormat is returned when decoding input that is not a recognized
+// container.
+var ErrBadFormat = errors.New("photo: unrecognized or corrupt container")
+
+const irspMagic = "IRSP1"
+
+// EncodeIRSP writes the image and its metadata to w in IRSP format.
+func EncodeIRSP(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(irspMagic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(im.W))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(im.H))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(im.Channels))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	// Metadata: count, then length-prefixed key/value pairs in sorted
+	// key order so encoding is deterministic.
+	keys := im.Meta.Keys()
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(keys))); err != nil {
+		return err
+	}
+	writeStr := func(s string) error {
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	for _, k := range keys {
+		if err := writeStr(k); err != nil {
+			return err
+		}
+		if err := writeStr(im.Meta.Get(k)); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(im.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// maxDim bounds decoded image dimensions to keep hostile inputs from
+// forcing giant allocations.
+const maxDim = 1 << 14
+
+// DecodeIRSP reads an IRSP container from r.
+func DecodeIRSP(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(irspMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != irspMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header", ErrBadFormat)
+	}
+	w := int(binary.BigEndian.Uint32(hdr[0:]))
+	h := int(binary.BigEndian.Uint32(hdr[4:]))
+	ch := int(binary.BigEndian.Uint32(hdr[8:]))
+	if w <= 0 || h <= 0 || w > maxDim || h > maxDim || (ch != 1 && ch != 3) {
+		return nil, fmt.Errorf("%w: bad dimensions %dx%dx%d", ErrBadFormat, w, h, ch)
+	}
+	var nMeta uint32
+	if err := binary.Read(br, binary.BigEndian, &nMeta); err != nil {
+		return nil, fmt.Errorf("%w: short metadata count", ErrBadFormat)
+	}
+	if nMeta > 1<<16 {
+		return nil, fmt.Errorf("%w: absurd metadata count %d", ErrBadFormat, nMeta)
+	}
+	readStr := func() (string, error) {
+		var n uint32
+		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("metadata string too long: %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	im := &Image{W: w, H: h, Channels: ch, Pix: make([]byte, w*h*ch), Meta: NewMetadata()}
+	for i := uint32(0); i < nMeta; i++ {
+		k, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("%w: metadata key: %v", ErrBadFormat, err)
+		}
+		v, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("%w: metadata value: %v", ErrBadFormat, err)
+		}
+		im.Meta.Set(k, v)
+	}
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("%w: short pixel data", ErrBadFormat)
+	}
+	return im, nil
+}
+
+// EncodePNM writes the image as binary PGM (P5, grayscale) or PPM (P6,
+// RGB). Metadata is NOT written: PNM export models the metadata-stripping
+// path.
+func EncodePNM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	magic := "P5"
+	if im.Channels == 3 {
+		magic = "P6"
+	}
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n255\n", magic, im.W, im.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(im.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodePNM reads a binary PGM/PPM image. The returned image has empty
+// metadata.
+func DecodePNM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pnmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	var ch int
+	switch magic {
+	case "P5":
+		ch = 1
+	case "P6":
+		ch = 3
+	default:
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	var w, h, maxv int
+	for _, dst := range []*int{&w, &h, &maxv} {
+		tok, err := pnmToken(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+		}
+		if _, err := fmt.Sscanf(tok, "%d", dst); err != nil {
+			return nil, fmt.Errorf("%w: header token %q", ErrBadFormat, tok)
+		}
+	}
+	if w <= 0 || h <= 0 || w > maxDim || h > maxDim || maxv != 255 {
+		return nil, fmt.Errorf("%w: dims %dx%d max %d", ErrBadFormat, w, h, maxv)
+	}
+	im := &Image{W: w, H: h, Channels: ch, Pix: make([]byte, w*h*ch), Meta: NewMetadata()}
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("%w: short pixel data", ErrBadFormat)
+	}
+	return im, nil
+}
+
+// pnmToken reads the next whitespace-delimited token, skipping '#'
+// comments per the PNM spec. Exactly one byte of whitespace terminates
+// the final header token before binary data begins.
+func pnmToken(br *bufio.Reader) (string, error) {
+	var buf bytes.Buffer
+	inComment := false
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && buf.Len() > 0 {
+				return buf.String(), nil
+			}
+			return "", err
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+			}
+		case b == '#':
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if buf.Len() > 0 {
+				return buf.String(), nil
+			}
+		default:
+			buf.WriteByte(b)
+		}
+	}
+}
+
+// StripViaPNM round-trips the image through PNM encoding, returning a
+// copy with identical pixels and no metadata — the canonical "site
+// stripped my EXIF" operation used across tests and experiments.
+func StripViaPNM(im *Image) (*Image, error) {
+	var buf bytes.Buffer
+	if err := EncodePNM(&buf, im); err != nil {
+		return nil, err
+	}
+	return DecodePNM(&buf)
+}

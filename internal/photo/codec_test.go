@@ -1,0 +1,145 @@
+package photo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIRSPRoundTrip(t *testing.T) {
+	im := Synth(10, 48, 32)
+	im.Meta.Set(KeyIRSID, "SOMEID")
+	im.Meta.Set(KeyIRSLedgerURL, "http://ledger.example")
+	im.Meta.Set("camera.model", "SynthCam 9000")
+
+	var buf bytes.Buffer
+	if err := EncodeIRSP(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeIRSP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Equal(got) {
+		t.Error("pixels changed through IRSP round trip")
+	}
+	for _, k := range im.Meta.Keys() {
+		if got.Meta.Get(k) != im.Meta.Get(k) {
+			t.Errorf("metadata %q: got %q want %q", k, got.Meta.Get(k), im.Meta.Get(k))
+		}
+	}
+}
+
+func TestIRSPRGBRoundTrip(t *testing.T) {
+	im := SynthRGB(11, 24, 24)
+	var buf bytes.Buffer
+	if err := EncodeIRSP(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeIRSP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Equal(got) {
+		t.Error("RGB pixels changed through IRSP round trip")
+	}
+}
+
+func TestIRSPRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE!aaaaaaaaaaaaaaaaaaaa"),
+		"truncated": []byte("IRSP1\x00\x00"),
+	}
+	for name, b := range cases {
+		if _, err := DecodeIRSP(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+func TestIRSPRejectsHugeDims(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("IRSP1")
+	// 1<<20 x 1<<20 x 1 channel
+	buf.Write([]byte{0, 16, 0, 0, 0, 16, 0, 0, 0, 0, 0, 1})
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := DecodeIRSP(&buf); err == nil {
+		t.Error("huge dimensions accepted")
+	}
+}
+
+func TestPNMRoundTripGray(t *testing.T) {
+	im := Synth(12, 33, 17) // odd dims on purpose
+	var buf bytes.Buffer
+	if err := EncodePNM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P5\n") {
+		t.Errorf("gray image should encode as P5, got %q", buf.String()[:2])
+	}
+	got, err := DecodePNM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Equal(got) {
+		t.Error("pixels changed through PGM round trip")
+	}
+}
+
+func TestPNMRoundTripRGB(t *testing.T) {
+	im := SynthRGB(13, 20, 20)
+	var buf bytes.Buffer
+	if err := EncodePNM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n") {
+		t.Errorf("rgb image should encode as P6")
+	}
+	got, err := DecodePNM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Equal(got) {
+		t.Error("pixels changed through PPM round trip")
+	}
+}
+
+func TestPNMStripsMetadata(t *testing.T) {
+	im := Synth(14, 16, 16)
+	im.Meta.Set(KeyIRSID, "X")
+	got, err := StripViaPNM(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Len() != 0 {
+		t.Error("PNM round trip preserved metadata; it must strip")
+	}
+	if !im.Equal(got) {
+		t.Error("PNM round trip changed pixels")
+	}
+}
+
+func TestPNMComments(t *testing.T) {
+	data := "P5\n# a comment\n4 2\n# another\n255\n" + string(make([]byte, 8))
+	im, err := DecodePNM(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("comment handling: %v", err)
+	}
+	if im.W != 4 || im.H != 2 {
+		t.Errorf("dims %dx%d, want 4x2", im.W, im.H)
+	}
+}
+
+func TestPNMRejectsGarbage(t *testing.T) {
+	for name, s := range map[string]string{
+		"empty":    "",
+		"badmagic": "P9\n2 2\n255\n....",
+		"badmax":   "P5\n2 2\n65535\n....",
+		"short":    "P5\n4 4\n255\nxx",
+	} {
+		if _, err := DecodePNM(strings.NewReader(s)); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package photo
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeIRSP: hostile containers must error, never panic or
+// over-allocate; accepted ones must re-encode.
+func FuzzDecodeIRSP(f *testing.F) {
+	im := Synth(1, 16, 12)
+	im.Meta.Set(KeyIRSID, "x")
+	var buf bytes.Buffer
+	if err := EncodeIRSP(&buf, im); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("IRSP1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := DecodeIRSP(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeIRSP(&out, im); err != nil {
+			t.Fatalf("accepted container failed to re-encode: %v", err)
+		}
+		back, err := DecodeIRSP(&out)
+		if err != nil || !back.Equal(im) {
+			t.Fatalf("re-encode round trip broken: %v", err)
+		}
+	})
+}
+
+// FuzzDecodePNM: same contract for the PNM path.
+func FuzzDecodePNM(f *testing.F) {
+	im := Synth(2, 9, 7)
+	var buf bytes.Buffer
+	if err := EncodePNM(&buf, im); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("P5\n# comment\n2 2\n255\nabcd"))
+	f.Add([]byte("P6"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := DecodePNM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H*im.Channels {
+			t.Fatalf("accepted malformed geometry %dx%dx%d len %d", im.W, im.H, im.Channels, len(im.Pix))
+		}
+	})
+}

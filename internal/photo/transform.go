@@ -1,0 +1,248 @@
+package photo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"irs/internal/dct"
+)
+
+// This file implements the benign alterations the paper requires the
+// label to survive (Goal #5: "metadata is often stripped and various
+// manipulations (such as transcoding) are applied") and §3.2's list —
+// "compression, cropping, tinting" — plus scaling and noise, which real
+// upload pipelines also apply. Every transform preserves metadata on the
+// returned image; stripping is modeled separately (StripViaPNM /
+// Metadata.StripAll) so experiments can vary the two independently.
+
+// Crop returns the sub-image [x0, x0+w) × [y0, y0+h). Metadata is
+// carried over.
+func Crop(im *Image, x0, y0, w, h int) (*Image, error) {
+	if x0 < 0 || y0 < 0 || w <= 0 || h <= 0 || x0+w > im.W || y0+h > im.H {
+		return nil, fmt.Errorf("photo: crop (%d,%d,%d,%d) outside %dx%d", x0, y0, w, h, im.W, im.H)
+	}
+	out := &Image{W: w, H: h, Channels: im.Channels, Pix: make([]byte, w*h*im.Channels), Meta: im.Meta.Clone()}
+	rowBytes := w * im.Channels
+	for y := 0; y < h; y++ {
+		src := ((y0+y)*im.W + x0) * im.Channels
+		copy(out.Pix[y*rowBytes:(y+1)*rowBytes], im.Pix[src:src+rowBytes])
+	}
+	return out, nil
+}
+
+// CropFraction crops a centered window keeping the given fraction of each
+// dimension (e.g. 0.9 removes a 5% border all around).
+func CropFraction(im *Image, keep float64) (*Image, error) {
+	if keep <= 0 || keep > 1 {
+		return nil, fmt.Errorf("photo: crop fraction %g out of (0,1]", keep)
+	}
+	w := int(float64(im.W) * keep)
+	h := int(float64(im.H) * keep)
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return Crop(im, (im.W-w)/2, (im.H-h)/2, w, h)
+}
+
+// Scale resizes the image to w×h with bilinear interpolation.
+func Scale(im *Image, w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("photo: scale to %dx%d", w, h)
+	}
+	out := &Image{W: w, H: h, Channels: im.Channels, Pix: make([]byte, w*h*im.Channels), Meta: im.Meta.Clone()}
+	sx := float64(im.W) / float64(w)
+	sy := float64(im.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(math.Floor(fy))
+		ty := fy - float64(y0)
+		y1 := y0 + 1
+		if y0 < 0 {
+			y0 = 0
+		}
+		if y1 >= im.H {
+			y1 = im.H - 1
+		}
+		if y0 >= im.H {
+			y0 = im.H - 1
+		}
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(math.Floor(fx))
+			tx := fx - float64(x0)
+			x1 := x0 + 1
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 >= im.W {
+				x1 = im.W - 1
+			}
+			if x0 >= im.W {
+				x0 = im.W - 1
+			}
+			for c := 0; c < im.Channels; c++ {
+				p00 := float64(im.Pix[(y0*im.W+x0)*im.Channels+c])
+				p01 := float64(im.Pix[(y0*im.W+x1)*im.Channels+c])
+				p10 := float64(im.Pix[(y1*im.W+x0)*im.Channels+c])
+				p11 := float64(im.Pix[(y1*im.W+x1)*im.Channels+c])
+				top := p00*(1-tx) + p01*tx
+				bot := p10*(1-tx) + p11*tx
+				out.Pix[(y*w+x)*im.Channels+c] = clampByte(top*(1-ty) + bot*ty)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Tint shifts brightness by delta and scales contrast around mid-gray by
+// gain — the "tinting" manipulation from §3.2.
+func Tint(im *Image, gain, delta float64) *Image {
+	out := im.Clone()
+	for i, p := range out.Pix {
+		out.Pix[i] = clampByte((float64(p)-128)*gain + 128 + delta)
+	}
+	return out
+}
+
+// AddNoise adds zero-mean Gaussian noise with the given standard
+// deviation, seeded deterministically.
+func AddNoise(im *Image, sigma float64, seed int64) *Image {
+	out := im.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	for i, p := range out.Pix {
+		out.Pix[i] = clampByte(float64(p) + rng.NormFloat64()*sigma)
+	}
+	return out
+}
+
+// jpegLumaQuant is the ISO/IEC 10918-1 Annex K luminance quantization
+// table, the same one real JPEG encoders scale by quality.
+var jpegLumaQuant = [64]float64{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// quantTable returns the Annex K table scaled for quality in [1, 100],
+// using the libjpeg scaling convention.
+func quantTable(quality int) [64]float64 {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale float64
+	if quality < 50 {
+		scale = 5000 / float64(quality)
+	} else {
+		scale = 200 - 2*float64(quality)
+	}
+	var q [64]float64
+	for i, v := range jpegLumaQuant {
+		s := math.Floor((v*scale + 50) / 100)
+		if s < 1 {
+			s = 1
+		}
+		if s > 255 {
+			s = 255
+		}
+		q[i] = s
+	}
+	return q
+}
+
+// CompressJPEGLike simulates JPEG transcoding at the given quality: the
+// luma plane is processed in 8×8 blocks through a forward DCT, quantized
+// with the scaled Annex K table, dequantized, and inverse transformed.
+// This reproduces exactly the loss mechanism of real JPEG (block DCT
+// coefficient quantization) without an entropy coder, which is lossless
+// and therefore irrelevant to watermark/hash robustness. Edge blocks are
+// padded by replication. Metadata is preserved (transcoding per se does
+// not strip metadata; that is a separate site policy).
+func CompressJPEGLike(im *Image, quality int) *Image {
+	q := quantTable(quality)
+	out := im.Clone()
+	luma := im.Luma()
+	const n = 8
+	src := dct.NewBlock(n)
+	coef := dct.NewBlock(n)
+	for by := 0; by < im.H; by += n {
+		for bx := 0; bx < im.W; bx += n {
+			// Load with edge replication, centered on 0 like JPEG.
+			for r := 0; r < n; r++ {
+				y := by + r
+				if y >= im.H {
+					y = im.H - 1
+				}
+				for c := 0; c < n; c++ {
+					x := bx + c
+					if x >= im.W {
+						x = im.W - 1
+					}
+					src.Set(r, c, luma[y*im.W+x]-128)
+				}
+			}
+			dct.Forward2D(coef, src)
+			for i := range coef.Data {
+				// The orthonormal 8x8 DCT differs from JPEG's scaling by
+				// a factor of 2 per dimension on the quant step; fold it in.
+				step := q[i] / 4
+				coef.Data[i] = math.Round(coef.Data[i]/step) * step
+			}
+			dct.Inverse2D(src, coef)
+			for r := 0; r < n; r++ {
+				y := by + r
+				if y >= im.H {
+					continue
+				}
+				for c := 0; c < n; c++ {
+					x := bx + c
+					if x >= im.W {
+						continue
+					}
+					luma[y*im.W+x] = src.At(r, c) + 128
+				}
+			}
+		}
+	}
+	out.SetLuma(luma)
+	return out
+}
+
+// A Transform is a named benign alteration, used by the E6 robustness
+// experiment to sweep the full matrix.
+type Transform struct {
+	Name  string
+	Apply func(*Image) (*Image, error)
+}
+
+// BenignTransforms returns the standard transform suite used by the E6
+// robustness experiment: the paper's compression/cropping/tinting plus
+// scaling, noise, and metadata stripping combinations.
+func BenignTransforms() []Transform {
+	return []Transform{
+		{"identity", func(im *Image) (*Image, error) { return im.Clone(), nil }},
+		{"jpeg-q90", func(im *Image) (*Image, error) { return CompressJPEGLike(im, 90), nil }},
+		{"jpeg-q75", func(im *Image) (*Image, error) { return CompressJPEGLike(im, 75), nil }},
+		{"jpeg-q50", func(im *Image) (*Image, error) { return CompressJPEGLike(im, 50), nil }},
+		{"crop-95", func(im *Image) (*Image, error) { return CropFraction(im, 0.95) }},
+		{"crop-85", func(im *Image) (*Image, error) { return CropFraction(im, 0.85) }},
+		{"tint-warm", func(im *Image) (*Image, error) { return Tint(im, 1.0, 12), nil }},
+		{"tint-contrast", func(im *Image) (*Image, error) { return Tint(im, 1.15, 0), nil }},
+		{"noise-s2", func(im *Image) (*Image, error) { return AddNoise(im, 2, 42), nil }},
+		{"strip-meta", StripViaPNM},
+		{"jpeg75+strip", func(im *Image) (*Image, error) {
+			return StripViaPNM(CompressJPEGLike(im, 75))
+		}},
+	}
+}

@@ -1,0 +1,238 @@
+package photo
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"crypto/sha256"
+)
+
+// Video support. Paper §2: "while our treatment focuses on preventing
+// the unwanted sharing of photos, our approach applies more generally
+// to other digital media (such as personal videos) that are discrete,
+// have a clearly identified owner, and are intensely personal."
+//
+// A Video is a frame sequence sharing one claim: one content hash over
+// all frames, one identifier, one watermark payload embedded in every
+// frame (extraction votes across frames, surviving frame drops and
+// re-encodes that defeat any single frame — see watermark.EmbedVideo).
+
+// Video is a discrete frame sequence. All frames share dimensions and
+// channel count.
+type Video struct {
+	// FPS is informational (synthetic videos don't play anywhere).
+	FPS    int
+	Frames []*Image
+	// Meta is the container-level metadata; per-frame metadata is not
+	// used (real containers carry one metadata block).
+	Meta Metadata
+}
+
+// NewVideo validates frame geometry and builds a video.
+func NewVideo(fps int, frames []*Image) (*Video, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("photo: video needs at least one frame")
+	}
+	w, h, c := frames[0].W, frames[0].H, frames[0].Channels
+	for i, f := range frames {
+		if f.W != w || f.H != h || f.Channels != c {
+			return nil, fmt.Errorf("photo: frame %d geometry %dx%dx%d != %dx%dx%d",
+				i, f.W, f.H, f.Channels, w, h, c)
+		}
+	}
+	return &Video{FPS: fps, Frames: frames, Meta: NewMetadata()}, nil
+}
+
+// SynthVideo generates a deterministic synthetic clip: a base scene with
+// per-frame global motion (pan) plus fresh sensor noise, which is what
+// matters to per-frame watermarking and hashing.
+func SynthVideo(seed int64, w, h, frames, fps int) (*Video, error) {
+	// Generate a larger scene and pan a w×h window across it.
+	scene := Synth(seed, w+frames+8, h+frames/2+8)
+	out := make([]*Image, frames)
+	for i := range out {
+		dx := i
+		dy := i / 2
+		f, err := Crop(scene, dx, dy, w, h)
+		if err != nil {
+			return nil, err
+		}
+		f.Meta.StripAll()
+		out[i] = AddNoise(f, 1.0, seed^int64(i)*7919)
+	}
+	return NewVideo(fps, out)
+}
+
+// Clone deep-copies the video.
+func (v *Video) Clone() *Video {
+	frames := make([]*Image, len(v.Frames))
+	for i, f := range v.Frames {
+		frames[i] = f.Clone()
+	}
+	return &Video{FPS: v.FPS, Frames: frames, Meta: v.Meta.Clone()}
+}
+
+// ContentHash hashes the frame count, geometry, and every frame's
+// pixels — the digest a video claim covers.
+func (v *Video) ContentHash() [32]byte {
+	h := sha256.New()
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(v.Frames)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(v.Frames[0].W))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(v.Frames[0].H))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(v.FPS))
+	h.Write(hdr[:])
+	for _, f := range v.Frames {
+		fh := f.ContentHash()
+		h.Write(fh[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+const irsvMagic = "IRSV1"
+
+// EncodeIRSV writes the video container: magic, fps, frame count,
+// metadata, then each frame as an embedded IRSP record.
+func EncodeIRSV(w io.Writer, v *Video) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(irsvMagic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(v.FPS))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(v.Frames)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	keys := v.Meta.Keys()
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(keys))); err != nil {
+		return err
+	}
+	writeStr := func(s string) error {
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	for _, k := range keys {
+		if err := writeStr(k); err != nil {
+			return err
+		}
+		if err := writeStr(v.Meta.Get(k)); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	for _, f := range v.Frames {
+		if err := EncodeIRSP(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxVideoFrames bounds decoded videos.
+const maxVideoFrames = 1 << 16
+
+// DecodeIRSV reads a video container.
+func DecodeIRSV(r io.Reader) (*Video, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(irsvMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != irsvMagic {
+		return nil, fmt.Errorf("%w: bad video magic %q", ErrBadFormat, magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short video header", ErrBadFormat)
+	}
+	fps := int(binary.BigEndian.Uint32(hdr[0:]))
+	n := int(binary.BigEndian.Uint32(hdr[4:]))
+	if n <= 0 || n > maxVideoFrames {
+		return nil, fmt.Errorf("%w: frame count %d", ErrBadFormat, n)
+	}
+	var nMeta uint32
+	if err := binary.Read(br, binary.BigEndian, &nMeta); err != nil {
+		return nil, fmt.Errorf("%w: short metadata count", ErrBadFormat)
+	}
+	if nMeta > 1<<16 {
+		return nil, fmt.Errorf("%w: metadata count %d", ErrBadFormat, nMeta)
+	}
+	meta := NewMetadata()
+	readStr := func() (string, error) {
+		var l uint32
+		if err := binary.Read(br, binary.BigEndian, &l); err != nil {
+			return "", err
+		}
+		if l > 1<<20 {
+			return "", fmt.Errorf("string too long")
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	for i := uint32(0); i < nMeta; i++ {
+		k, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("%w: metadata: %v", ErrBadFormat, err)
+		}
+		val, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("%w: metadata: %v", ErrBadFormat, err)
+		}
+		meta.Set(k, val)
+	}
+	frames := make([]*Image, n)
+	for i := 0; i < n; i++ {
+		f, err := DecodeIRSP(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: frame %d: %v", ErrBadFormat, i, err)
+		}
+		frames[i] = f
+	}
+	v, err := NewVideo(fps, frames)
+	if err != nil {
+		return nil, err
+	}
+	v.Meta = meta
+	return v, nil
+}
+
+// TranscodeVideo re-compresses every frame — the benign transform video
+// platforms always apply.
+func TranscodeVideo(v *Video, quality int) *Video {
+	out := v.Clone()
+	for i, f := range out.Frames {
+		out.Frames[i] = CompressJPEGLike(f, quality)
+	}
+	return out
+}
+
+// DropFrames keeps every keepOneIn-th frame — modeling frame-rate
+// reduction.
+func DropFrames(v *Video, keepOneIn int) (*Video, error) {
+	if keepOneIn < 1 {
+		return nil, fmt.Errorf("photo: keepOneIn %d", keepOneIn)
+	}
+	var frames []*Image
+	for i := 0; i < len(v.Frames); i += keepOneIn {
+		frames = append(frames, v.Frames[i].Clone())
+	}
+	nv, err := NewVideo(v.FPS/keepOneIn, frames)
+	if err != nil {
+		return nil, err
+	}
+	nv.Meta = v.Meta.Clone()
+	return nv, nil
+}

@@ -1,0 +1,135 @@
+package photo
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mustVideo(t testing.TB, seed int64, w, h, frames int) *Video {
+	t.Helper()
+	v, err := SynthVideo(seed, w, h, frames, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSynthVideoGeometry(t *testing.T) {
+	v := mustVideo(t, 1, 192, 128, 12)
+	if len(v.Frames) != 12 {
+		t.Fatalf("frames %d", len(v.Frames))
+	}
+	for i, f := range v.Frames {
+		if f.W != 192 || f.H != 128 {
+			t.Fatalf("frame %d is %dx%d", i, f.W, f.H)
+		}
+	}
+	// Motion: consecutive frames differ but are related.
+	d, err := MeanAbsDiff(v.Frames[0], v.Frames[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Error("consecutive frames identical — no motion")
+	}
+	if d > 60 {
+		t.Errorf("consecutive frames unrelated (MAD %g)", d)
+	}
+}
+
+func TestNewVideoValidation(t *testing.T) {
+	if _, err := NewVideo(24, nil); err == nil {
+		t.Error("empty video accepted")
+	}
+	a := NewGray(8, 8)
+	b := NewGray(9, 8)
+	if _, err := NewVideo(24, []*Image{a, b}); err == nil {
+		t.Error("mismatched frame geometry accepted")
+	}
+}
+
+func TestVideoContentHash(t *testing.T) {
+	v := mustVideo(t, 2, 64, 48, 6)
+	h1 := v.ContentHash()
+	if v.Clone().ContentHash() != h1 {
+		t.Error("clone hash differs")
+	}
+	v2 := v.Clone()
+	v2.Frames[3].Pix[0] ^= 1
+	if v2.ContentHash() == h1 {
+		t.Error("single-pixel frame change undetected")
+	}
+	v3 := mustVideo(t, 2, 64, 48, 5) // fewer frames
+	if v3.ContentHash() == h1 {
+		t.Error("frame count change undetected")
+	}
+}
+
+func TestVideoCodecRoundTrip(t *testing.T) {
+	v := mustVideo(t, 3, 48, 32, 5)
+	v.Meta.Set(KeyIRSID, "vid-id")
+	var buf bytes.Buffer
+	if err := EncodeIRSV(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeIRSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPS != v.FPS || len(got.Frames) != len(v.Frames) {
+		t.Fatalf("shape changed: %d fps %d frames", got.FPS, len(got.Frames))
+	}
+	if got.Meta.Get(KeyIRSID) != "vid-id" {
+		t.Error("metadata lost")
+	}
+	if got.ContentHash() != v.ContentHash() {
+		t.Error("pixels changed through round trip")
+	}
+}
+
+func TestVideoCodecRejectsGarbage(t *testing.T) {
+	for name, b := range map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE!xxxxxxxxxxx"),
+		"truncated": []byte("IRSV1\x00\x00\x00\x18"),
+	} {
+		if _, err := DecodeIRSV(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestTranscodeVideo(t *testing.T) {
+	v := mustVideo(t, 4, 96, 64, 4)
+	tc := TranscodeVideo(v, 60)
+	if tc.ContentHash() == v.ContentHash() {
+		t.Error("transcode changed nothing")
+	}
+	if len(tc.Frames) != len(v.Frames) {
+		t.Error("frame count changed")
+	}
+	d, err := MeanAbsDiff(v.Frames[0], tc.Frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 8 {
+		t.Errorf("q60 transcode too destructive: MAD %g", d)
+	}
+}
+
+func TestDropFrames(t *testing.T) {
+	v := mustVideo(t, 5, 48, 32, 12)
+	half, err := DropFrames(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(half.Frames) != 6 {
+		t.Fatalf("frames %d, want 6", len(half.Frames))
+	}
+	if !half.Frames[1].Equal(v.Frames[2]) {
+		t.Error("wrong frames kept")
+	}
+	if _, err := DropFrames(v, 0); err == nil {
+		t.Error("keepOneIn=0 accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package proxy
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"irs/internal/ids"
+	"irs/internal/ledger"
+)
+
+// cache is a TTL + LRU cache of ledger status proofs (§4.4: proxies
+// "caching lookups (which would also further reduce viewing latency)").
+// Entries expire after the TTL so that revocations propagate within a
+// bounded window — the paper explicitly accepts non-instantaneous
+// revocation (Nongoal #4); the TTL is that window.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	now      func() time.Time
+	entries  map[ids.PhotoID]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	id      ids.PhotoID
+	proof   *ledger.StatusProof
+	expires time.Time
+}
+
+func newCache(capacity int, ttl time.Duration, now func() time.Time) *cache {
+	return &cache{
+		capacity: capacity,
+		ttl:      ttl,
+		now:      now,
+		entries:  make(map[ids.PhotoID]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// get returns a live cached proof, or nil.
+func (c *cache) get(id ids.PhotoID) *ledger.StatusProof {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[id]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*cacheEntry)
+	if c.now().After(e.expires) {
+		c.order.Remove(el)
+		delete(c.entries, id)
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return e.proof
+}
+
+// put stores a proof, evicting the least recently used entry when full.
+func (c *cache) put(id ids.PhotoID, proof *ledger.StatusProof) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		e := el.Value.(*cacheEntry)
+		e.proof = proof
+		e.expires = c.now().Add(c.ttl)
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).id)
+	}
+	el := c.order.PushFront(&cacheEntry{id: id, proof: proof, expires: c.now().Add(c.ttl)})
+	c.entries[id] = el
+}
+
+// invalidate drops an entry; used when a client reports a revocation it
+// learned out of band.
+func (c *cache) invalidate(id ids.PhotoID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		c.order.Remove(el)
+		delete(c.entries, id)
+	}
+}
+
+// len returns the live entry count (including not-yet-collected expired
+// entries).
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

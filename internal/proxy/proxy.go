@@ -1,0 +1,286 @@
+// Package proxy implements the IRS proxy of the bootstrap design
+// (paper §4): a trusted intermediary that browsers query instead of
+// ledgers, providing
+//
+//   - viewer privacy (§4.2): the ledger sees the proxy's aggregate
+//     stream, never an individual user's browsing — the same structure
+//     as Mozilla's TRR, Oblivious DNS, and Apple Private Relay;
+//   - latency (§4.3): a validation cache close to the user;
+//   - ledger-load reduction (§4.4): per-ledger Bloom filters of revoked
+//     photos, refreshed by delta, answer "definitely not revoked"
+//     locally so only filter hits reach a ledger.
+//
+// The Validator core is transport-agnostic (the E2 experiment drives it
+// with an in-process query function and counts ledger queries); Server
+// in server.go exposes it over HTTP for the runnable binaries.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"irs/internal/bloom"
+	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/wire"
+)
+
+// Source says how a validation was answered; experiments aggregate by
+// it.
+type Source int
+
+const (
+	// SourceFilter means the aggregated revocation filter missed: the
+	// photo is definitely not revoked and no ledger was contacted.
+	SourceFilter Source = iota
+	// SourceCache means a live cached ledger proof answered.
+	SourceCache
+	// SourceLedger means the ledger was queried.
+	SourceLedger
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceFilter:
+		return "filter"
+	case SourceCache:
+		return "cache"
+	case SourceLedger:
+		return "ledger"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is a validation answer.
+type Result struct {
+	State  ledger.State
+	Source Source
+	// Proof is the ledger's signed status; nil for filter-miss answers,
+	// which carry no ledger attestation (the filter itself is the
+	// evidence, and the paper's bootstrap trust model accepts the proxy's
+	// word — browsers that want proof can force a query).
+	Proof *ledger.StatusProof
+}
+
+// QueryFunc resolves a status against the authoritative ledger. The
+// HTTP server uses a wire.Directory; simulations count invocations.
+type QueryFunc func(ids.PhotoID) (*ledger.StatusProof, error)
+
+// Stats counts outcomes.
+type Stats struct {
+	Total         atomic.Uint64
+	FilterMisses  atomic.Uint64
+	CacheHits     atomic.Uint64
+	LedgerQueries atomic.Uint64
+}
+
+// StatsSnapshot is a plain-value copy.
+type StatsSnapshot struct {
+	Total         uint64 `json:"total"`
+	FilterMisses  uint64 `json:"filter_misses"`
+	CacheHits     uint64 `json:"cache_hits"`
+	LedgerQueries uint64 `json:"ledger_queries"`
+}
+
+// Config parameterizes a Validator.
+type Config struct {
+	// CacheCapacity is the proof cache size in entries; 0 disables
+	// caching.
+	CacheCapacity int
+	// CacheTTL bounds revocation propagation delay; zero means 5
+	// minutes.
+	CacheTTL time.Duration
+	// UseFilter enables the Bloom-filter fast path. E2 turns it off for
+	// the baseline arm.
+	UseFilter bool
+	// Clock supplies time; nil means time.Now.
+	Clock func() time.Time
+}
+
+// Validator is the proxy core. Safe for concurrent use.
+type Validator struct {
+	cfg   Config
+	query QueryFunc
+	cache *cache
+
+	mu      sync.RWMutex
+	filters map[ids.LedgerID]*bloom.Filter
+	epochs  map[ids.LedgerID]uint64
+
+	stats Stats
+
+	sfMu sync.Mutex
+	sf   map[ids.PhotoID]*inflight
+}
+
+type inflight struct {
+	done  chan struct{}
+	proof *ledger.StatusProof
+	err   error
+}
+
+// NewValidator creates a proxy core that resolves misses through query.
+func NewValidator(cfg Config, query QueryFunc) *Validator {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = 5 * time.Minute
+	}
+	return &Validator{
+		cfg:     cfg,
+		query:   query,
+		cache:   newCache(cfg.CacheCapacity, cfg.CacheTTL, cfg.Clock),
+		filters: make(map[ids.LedgerID]*bloom.Filter),
+		epochs:  make(map[ids.LedgerID]uint64),
+		sf:      make(map[ids.PhotoID]*inflight),
+	}
+}
+
+// SetFilter installs or replaces a ledger's revocation filter snapshot.
+func (v *Validator) SetFilter(id ids.LedgerID, epoch uint64, f *bloom.Filter) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.filters[id] = f
+	v.epochs[id] = epoch
+}
+
+// Epoch returns the held filter epoch for a ledger (0 if none).
+func (v *Validator) Epoch(id ids.LedgerID) uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.epochs[id]
+}
+
+// mightBeRevoked consults the per-ledger filters. Holding the issuing
+// ledger's filter and missing in it is the only "definitely not revoked"
+// answer; an absent filter means we cannot exclude revocation.
+func (v *Validator) mightBeRevoked(id ids.PhotoID) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	f, ok := v.filters[id.Ledger]
+	if !ok {
+		return true
+	}
+	return f.Test(ledger.FilterKey(id))
+}
+
+// ErrNoQuery is returned when a ledger query is needed but no QueryFunc
+// was provided.
+var ErrNoQuery = errors.New("proxy: no ledger query configured")
+
+// Validate answers whether the photo may be displayed, consulting the
+// filter, then the cache, then the ledger.
+func (v *Validator) Validate(id ids.PhotoID) (Result, error) {
+	v.stats.Total.Add(1)
+	if v.cfg.UseFilter && !v.mightBeRevoked(id) {
+		v.stats.FilterMisses.Add(1)
+		return Result{State: ledger.StateActive, Source: SourceFilter}, nil
+	}
+	if p := v.cache.get(id); p != nil {
+		v.stats.CacheHits.Add(1)
+		return Result{State: p.State, Source: SourceCache, Proof: p}, nil
+	}
+	p, err := v.queryOnce(id)
+	if err != nil {
+		return Result{}, err
+	}
+	v.cache.put(id, p)
+	return Result{State: p.State, Source: SourceLedger, Proof: p}, nil
+}
+
+// queryOnce collapses concurrent queries for the same identifier into a
+// single upstream request — both a load and a privacy measure (the
+// ledger sees one aggregate query, §4.2).
+func (v *Validator) queryOnce(id ids.PhotoID) (*ledger.StatusProof, error) {
+	if v.query == nil {
+		return nil, ErrNoQuery
+	}
+	v.sfMu.Lock()
+	if fl, ok := v.sf[id]; ok {
+		v.sfMu.Unlock()
+		<-fl.done
+		return fl.proof, fl.err
+	}
+	fl := &inflight{done: make(chan struct{})}
+	v.sf[id] = fl
+	v.sfMu.Unlock()
+
+	v.stats.LedgerQueries.Add(1)
+	fl.proof, fl.err = v.query(id)
+	close(fl.done)
+
+	v.sfMu.Lock()
+	delete(v.sf, id)
+	v.sfMu.Unlock()
+	return fl.proof, fl.err
+}
+
+// Invalidate drops a cached proof, forcing the next validation to
+// consult the ledger.
+func (v *Validator) Invalidate(id ids.PhotoID) { v.cache.invalidate(id) }
+
+// Stats returns a snapshot of the counters.
+func (v *Validator) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Total:         v.stats.Total.Load(),
+		FilterMisses:  v.stats.FilterMisses.Load(),
+		CacheHits:     v.stats.CacheHits.Load(),
+		LedgerQueries: v.stats.LedgerQueries.Load(),
+	}
+}
+
+// ResetStats zeroes the counters between experiment phases.
+func (v *Validator) ResetStats() {
+	v.stats.Total.Store(0)
+	v.stats.FilterMisses.Store(0)
+	v.stats.CacheHits.Store(0)
+	v.stats.LedgerQueries.Store(0)
+}
+
+// RefreshFilters pulls filter snapshots from every ledger in the
+// directory, using deltas when the proxy already holds an epoch and
+// falling back to full fetches when the delta is unavailable (expired
+// epoch or resized filter).
+func (v *Validator) RefreshFilters(dir *wire.Directory) error {
+	var firstErr error
+	for lid, client := range dir.All() {
+		if err := v.refreshOne(lid, client); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("proxy: refreshing ledger %d: %w", lid, err)
+		}
+	}
+	return firstErr
+}
+
+func (v *Validator) refreshOne(lid ids.LedgerID, client wire.Service) error {
+	v.mu.RLock()
+	held := v.epochs[lid]
+	heldFilter := v.filters[lid]
+	v.mu.RUnlock()
+
+	if held > 0 && heldFilter != nil {
+		delta, latest, err := client.FilterDelta(held)
+		if err == nil {
+			if latest == held {
+				return nil
+			}
+			f := heldFilter.Clone()
+			if aerr := bloom.Apply(f, delta); aerr == nil {
+				v.SetFilter(lid, latest, f)
+				return nil
+			}
+			// Parameter change mid-stream: fall through to full fetch.
+		}
+	}
+	epoch, f, err := client.Filter()
+	if err != nil {
+		return err
+	}
+	v.SetFilter(lid, epoch, f)
+	return nil
+}

@@ -1,0 +1,341 @@
+package proxy
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"irs/internal/bloom"
+	"irs/internal/ids"
+	"irs/internal/ledger"
+)
+
+// fakeLedger is an in-process QueryFunc with call counting.
+type fakeLedger struct {
+	mu      sync.Mutex
+	states  map[ids.PhotoID]ledger.State
+	queries int
+	err     error
+}
+
+func newFakeLedger() *fakeLedger {
+	return &fakeLedger{states: make(map[ids.PhotoID]ledger.State)}
+}
+
+func (f *fakeLedger) query(id ids.PhotoID) (*ledger.StatusProof, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.queries++
+	if f.err != nil {
+		return nil, f.err
+	}
+	st, ok := f.states[id]
+	if !ok {
+		st = ledger.StateUnknown
+	}
+	return &ledger.StatusProof{ID: id, State: st, IssuedAt: time.Now()}, nil
+}
+
+func mustNewID(t testing.TB, l ids.LedgerID) ids.PhotoID {
+	t.Helper()
+	id, err := ids.New(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestFilterMissAnswersLocally(t *testing.T) {
+	fl := newFakeLedger()
+	v := NewValidator(Config{UseFilter: true, CacheCapacity: 10}, fl.query)
+	// Filter over one revoked id.
+	revoked := mustNewID(t, 1)
+	active := mustNewID(t, 1)
+	f, err := bloom.NewWithEstimate(1024, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Add(ledger.FilterKey(revoked))
+	v.SetFilter(1, 1, f)
+	fl.states[active] = ledger.StateActive
+	fl.states[revoked] = ledger.StateRevoked
+
+	res, err := v.Validate(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceFilter || res.State != ledger.StateActive {
+		t.Errorf("got %v/%v, want filter/active", res.Source, res.State)
+	}
+	if fl.queries != 0 {
+		t.Errorf("filter miss still queried the ledger %d times", fl.queries)
+	}
+
+	res, err = v.Validate(revoked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceLedger || res.State != ledger.StateRevoked {
+		t.Errorf("got %v/%v, want ledger/revoked", res.Source, res.State)
+	}
+	if res.Proof == nil {
+		t.Error("ledger answer missing proof")
+	}
+	if fl.queries != 1 {
+		t.Errorf("queries = %d", fl.queries)
+	}
+}
+
+func TestNoFilterAlwaysQueries(t *testing.T) {
+	fl := newFakeLedger()
+	v := NewValidator(Config{UseFilter: true, CacheCapacity: 0}, fl.query)
+	// No filter installed for ledger 1 → cannot exclude revocation.
+	id := mustNewID(t, 1)
+	fl.states[id] = ledger.StateActive
+	if _, err := v.Validate(id); err != nil {
+		t.Fatal(err)
+	}
+	if fl.queries != 1 {
+		t.Errorf("queries = %d, want 1 (no filter held)", fl.queries)
+	}
+}
+
+func TestCacheHit(t *testing.T) {
+	fl := newFakeLedger()
+	v := NewValidator(Config{CacheCapacity: 16, CacheTTL: time.Minute}, fl.query)
+	id := mustNewID(t, 1)
+	fl.states[id] = ledger.StateActive
+	for i := 0; i < 5; i++ {
+		res, err := v.Validate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Source != SourceCache {
+			t.Errorf("iteration %d source %v", i, res.Source)
+		}
+	}
+	if fl.queries != 1 {
+		t.Errorf("queries = %d, want 1", fl.queries)
+	}
+	st := v.Stats()
+	if st.Total != 5 || st.CacheHits != 4 || st.LedgerQueries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	now := time.Date(2022, 11, 14, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	fl := newFakeLedger()
+	v := NewValidator(Config{CacheCapacity: 16, CacheTTL: time.Minute, Clock: clock}, fl.query)
+	id := mustNewID(t, 1)
+	fl.states[id] = ledger.StateActive
+	if _, err := v.Validate(id); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	// Owner revoked meanwhile; after TTL, the proxy must requery.
+	fl.states[id] = ledger.StateRevoked
+	res, err := v.Validate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceLedger || res.State != ledger.StateRevoked {
+		t.Errorf("after TTL: %v/%v", res.Source, res.State)
+	}
+	if fl.queries != 2 {
+		t.Errorf("queries = %d, want 2", fl.queries)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	fl := newFakeLedger()
+	v := NewValidator(Config{CacheCapacity: 2, CacheTTL: time.Hour}, fl.query)
+	a, b, c := mustNewID(t, 1), mustNewID(t, 1), mustNewID(t, 1)
+	for _, id := range []ids.PhotoID{a, b, c} {
+		fl.states[id] = ledger.StateActive
+	}
+	for _, id := range []ids.PhotoID{a, b, c} { // c evicts a
+		if _, err := v.Validate(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := v.Validate(a); err != nil { // must requery
+		t.Fatal(err)
+	}
+	if fl.queries != 4 {
+		t.Errorf("queries = %d, want 4 (a evicted)", fl.queries)
+	}
+	if v.cache.len() != 2 {
+		t.Errorf("cache len %d", v.cache.len())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	fl := newFakeLedger()
+	v := NewValidator(Config{CacheCapacity: 4, CacheTTL: time.Hour}, fl.query)
+	id := mustNewID(t, 1)
+	fl.states[id] = ledger.StateActive
+	if _, err := v.Validate(id); err != nil {
+		t.Fatal(err)
+	}
+	v.Invalidate(id)
+	fl.states[id] = ledger.StateRevoked
+	res, err := v.Validate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != ledger.StateRevoked {
+		t.Error("invalidate did not force a requery")
+	}
+}
+
+func TestQueryError(t *testing.T) {
+	fl := newFakeLedger()
+	fl.err = errors.New("ledger down")
+	v := NewValidator(Config{}, fl.query)
+	if _, err := v.Validate(mustNewID(t, 1)); err == nil {
+		t.Error("ledger error swallowed")
+	}
+	vNil := NewValidator(Config{}, nil)
+	if _, err := vNil.Validate(mustNewID(t, 1)); !errors.Is(err, ErrNoQuery) {
+		t.Errorf("got %v, want ErrNoQuery", err)
+	}
+}
+
+func TestSingleflightCollapsesConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	queries := 0
+	release := make(chan struct{})
+	v := NewValidator(Config{CacheCapacity: 4}, func(id ids.PhotoID) (*ledger.StatusProof, error) {
+		mu.Lock()
+		queries++
+		mu.Unlock()
+		<-release
+		return &ledger.StatusProof{ID: id, State: ledger.StateActive, IssuedAt: time.Now()}, nil
+	})
+	id := mustNewID(t, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := v.Validate(id); err != nil {
+				t.Errorf("validate: %v", err)
+			}
+		}()
+	}
+	// Give goroutines time to pile onto the inflight entry.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if queries != 1 {
+		t.Errorf("upstream queries = %d, want 1 (singleflight)", queries)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	fl := newFakeLedger()
+	v := NewValidator(Config{}, fl.query)
+	if _, err := v.Validate(mustNewID(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	v.ResetStats()
+	st := v.Stats()
+	if st.Total != 0 || st.LedgerQueries != 0 {
+		t.Errorf("stats after reset: %+v", st)
+	}
+}
+
+func TestEpochTracking(t *testing.T) {
+	v := NewValidator(Config{UseFilter: true}, nil)
+	if v.Epoch(1) != 0 {
+		t.Error("fresh validator should hold epoch 0")
+	}
+	f, err := bloom.New(1<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetFilter(1, 7, f)
+	if v.Epoch(1) != 7 {
+		t.Errorf("epoch = %d", v.Epoch(1))
+	}
+}
+
+func TestSingleflightPropagatesErrors(t *testing.T) {
+	// All waiters collapsed onto a failing query must see the error, and
+	// the next call must retry (the inflight entry must not wedge).
+	var mu sync.Mutex
+	calls := 0
+	fail := true
+	release := make(chan struct{})
+	v := NewValidator(Config{CacheCapacity: 4}, func(id ids.PhotoID) (*ledger.StatusProof, error) {
+		mu.Lock()
+		calls++
+		shouldFail := fail
+		mu.Unlock()
+		<-release
+		if shouldFail {
+			return nil, errors.New("upstream exploded")
+		}
+		return &ledger.StatusProof{ID: id, State: ledger.StateActive, IssuedAt: time.Now()}, nil
+	})
+	id := mustNewID(t, 1)
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = v.Validate(id)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("waiter %d got no error", i)
+		}
+	}
+	mu.Lock()
+	if calls != 1 {
+		t.Fatalf("upstream called %d times during the collapsed round", calls)
+	}
+	fail = false
+	mu.Unlock()
+	// Recovery: a fresh call retries and succeeds.
+	release = make(chan struct{})
+	close(release)
+	res, err := v.Validate(id)
+	if err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if res.State != ledger.StateActive {
+		t.Errorf("retry state %v", res.State)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	fl := newFakeLedger()
+	fl.err = errors.New("down")
+	v := NewValidator(Config{CacheCapacity: 8, CacheTTL: time.Hour}, fl.query)
+	id := mustNewID(t, 1)
+	if _, err := v.Validate(id); err == nil {
+		t.Fatal("error swallowed")
+	}
+	fl.mu.Lock()
+	fl.err = nil
+	fl.states[id] = ledger.StateActive
+	fl.mu.Unlock()
+	res, err := v.Validate(id)
+	if err != nil {
+		t.Fatalf("recovered validate: %v", err)
+	}
+	if res.Source != SourceLedger {
+		t.Errorf("post-error answer from %v — was the failure cached?", res.Source)
+	}
+}

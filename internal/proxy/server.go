@@ -1,0 +1,93 @@
+package proxy
+
+import (
+	"net/http"
+
+	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/wire"
+)
+
+// Server exposes a Validator over HTTP — the service a browser
+// extension points at.
+//
+//	GET  /v1/validate?id=I → ValidateResponse
+//	POST /v1/refresh       → re-pull ledger filters (operator endpoint)
+//	GET  /v1/stats         → StatsSnapshot
+type Server struct {
+	v   *Validator
+	dir *wire.Directory
+	mux *http.ServeMux
+}
+
+// ValidateResponse is the proxy's answer to a browser.
+type ValidateResponse struct {
+	// State is the ledger.State string form.
+	State string `json:"state"`
+	// Source reports filter/cache/ledger.
+	Source string `json:"source"`
+	// Displayable is the policy outcome the extension acts on.
+	Displayable bool `json:"displayable"`
+	// Proof carries the marshaled ledger proof when one exists.
+	Proof []byte `json:"proof,omitempty"`
+}
+
+// NewServer wires a Validator whose misses resolve through dir.
+func NewServer(cfg Config, dir *wire.Directory) *Server {
+	s := &Server{dir: dir, mux: http.NewServeMux()}
+	s.v = NewValidator(cfg, func(id ids.PhotoID) (*ledger.StatusProof, error) {
+		c, err := dir.For(id)
+		if err != nil {
+			return nil, err
+		}
+		return c.Status(id)
+	})
+	s.mux.HandleFunc("GET /v1/validate", s.handleValidate)
+	s.mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Validator exposes the core for tests and operators.
+func (s *Server) Validator() *Validator { return s.v }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	id, err := ids.Parse(r.URL.Query().Get("id"))
+	if err != nil {
+		wire.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.v.Validate(id)
+	if err != nil {
+		if st := wire.ErrStatus(err); st != 0 {
+			wire.WriteError(w, st, err.Error())
+			return
+		}
+		wire.WriteError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	resp := &ValidateResponse{
+		State:       res.State.String(),
+		Source:      res.Source.String(),
+		Displayable: res.State == ledger.StateActive,
+	}
+	if res.Proof != nil {
+		resp.Proof = res.Proof.Marshal()
+	}
+	wire.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if err := s.v.RefreshFilters(s.dir); err != nil {
+		wire.WriteError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	wire.WriteJSON(w, http.StatusOK, s.v.Stats())
+}

@@ -1,0 +1,127 @@
+package proxy
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"irs/internal/ledger"
+	"irs/internal/wire"
+)
+
+// e2e: ledger HTTP server ← proxy HTTP server ← plain HTTP client,
+// exercising the full bootstrap wire path.
+func TestServerEndToEnd(t *testing.T) {
+	l, err := ledger.New(ledger.Config{ID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ledgerSrv := httptest.NewServer(wire.NewServer(l, ""))
+	defer ledgerSrv.Close()
+
+	dir := wire.NewDirectory()
+	dir.Register(3, wire.NewClient(ledgerSrv.URL, ""))
+
+	proxySrv := httptest.NewServer(NewServer(Config{UseFilter: true, CacheCapacity: 64}, dir))
+	defer proxySrv.Close()
+
+	// Owner claims one active photo and one revoked-at-birth photo.
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim := func(content string, revoked bool) ledger.Receipt {
+		h := sha256.Sum256([]byte(content))
+		r, err := l.Claim(h, pub, ed25519.Sign(priv, ledger.ClaimMsg(h)), revoked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	active := claim("active", false)
+	revoked := claim("revoked", true)
+	if _, err := l.BuildSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pull the filter into the proxy.
+	resp, err := http.Post(proxySrv.URL+"/v1/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status %d", resp.StatusCode)
+	}
+
+	validate := func(id string) *ValidateResponse {
+		r, err := http.Get(proxySrv.URL + "/v1/validate?id=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("validate status %d", r.StatusCode)
+		}
+		var v ValidateResponse
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return &v
+	}
+
+	got := validate(active.ID.String())
+	if !got.Displayable {
+		t.Errorf("active photo not displayable: %+v", got)
+	}
+	if got.Source != "filter" {
+		t.Errorf("active photo answered from %s, want filter", got.Source)
+	}
+
+	got = validate(revoked.ID.String())
+	if got.Displayable {
+		t.Errorf("revoked photo displayable: %+v", got)
+	}
+	if got.Source != "ledger" {
+		t.Errorf("revoked photo answered from %s, want ledger", got.Source)
+	}
+	if len(got.Proof) == 0 {
+		t.Error("revoked answer missing proof")
+	}
+	p, err := ledger.UnmarshalProof(got.Proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State != ledger.StateRevoked {
+		t.Errorf("proof state %v", p.State)
+	}
+
+	// Stats endpoint.
+	r2, err := http.Get(proxySrv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var st StatsSnapshot
+	if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 2 || st.FilterMisses != 1 || st.LedgerQueries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+
+	// Bad id → 400.
+	r3, err := http.Get(proxySrv.URL + "/v1/validate?id=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status %d", r3.StatusCode)
+	}
+}

@@ -1,0 +1,246 @@
+// Package rating implements the ecosystem-pressure mechanisms of the
+// paper's §4.4 closing paragraph:
+//
+//	"Not all sites will adopt IRS after the bootstrap phase, but their
+//	decision to not respect owner-privacy will be known because
+//	browsers could mark such sites (as they do with TLS icons),
+//	third-party rating services could publicize their lack of
+//	adoption, and search engines might lower their rankings."
+//
+// Three pieces:
+//
+//   - Prober: actively grades a site by exercising it with canary
+//     photos — does it preserve labels? refuse revoked uploads? take
+//     revoked content down on recheck? (the §5 probe idea, turned on
+//     sites instead of ledgers);
+//   - Registry: the third-party rating service publishing per-site
+//     compliance grades;
+//   - RankPenalty: the search-engine hook mapping a grade to a ranking
+//     multiplier, and BadgeFor, the browser's TLS-style site marker.
+package rating
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"irs/internal/aggregator"
+	"irs/internal/camera"
+	"irs/internal/ids"
+	"irs/internal/photo"
+)
+
+// Grade is a site's compliance classification.
+type Grade int
+
+const (
+	// GradeUnknown: never probed.
+	GradeUnknown Grade = iota
+	// GradeNonCompliant: hosts revoked content or strips labels.
+	GradeNonCompliant
+	// GradePartial: refuses revoked uploads but reacts slowly or
+	// strips non-IRS metadata carelessly.
+	GradePartial
+	// GradeCompliant: full §3.2 behaviour observed.
+	GradeCompliant
+)
+
+// String implements fmt.Stringer.
+func (g Grade) String() string {
+	switch g {
+	case GradeNonCompliant:
+		return "non-compliant"
+	case GradePartial:
+		return "partial"
+	case GradeCompliant:
+		return "compliant"
+	default:
+		return "unknown"
+	}
+}
+
+// BadgeFor is the browser's TLS-icon-style marker for a graded site.
+func BadgeFor(g Grade) string {
+	switch g {
+	case GradeCompliant:
+		return "✓ respects revocation"
+	case GradePartial:
+		return "△ partial revocation support"
+	case GradeNonCompliant:
+		return "✗ ignores revocation"
+	default:
+		return "? unrated"
+	}
+}
+
+// RankPenalty maps a grade to a search-ranking multiplier in (0, 1]:
+// the "search engines might lower their rankings" lever.
+func RankPenalty(g Grade) float64 {
+	switch g {
+	case GradeCompliant:
+		return 1.0
+	case GradePartial:
+		return 0.8
+	case GradeNonCompliant:
+		return 0.4
+	default:
+		return 0.9 // unrated sites take a small prudence haircut
+	}
+}
+
+// Site is the probeable surface of a content site. *aggregator.Aggregator
+// satisfies it; a non-IRS site is modeled by a type that ignores
+// revocation (see the tests' careless site).
+type Site interface {
+	Upload(*photo.Image) (aggregator.UploadResult, error)
+	Serve(id ids.PhotoID) (*photo.Image, error)
+	RecheckAll() (int, error)
+}
+
+// ProbeReport is one site probe's findings.
+type ProbeReport struct {
+	Grade Grade
+	// Findings lists the individual checks and outcomes.
+	Findings []string
+	ProbedAt time.Time
+}
+
+// Prober grades sites using canary photos claimed through the given
+// camera.
+type Prober struct {
+	cam *camera.Camera
+	// Clock supplies the report timestamp; nil means time.Now.
+	Clock func() time.Time
+}
+
+// NewProber creates a prober claiming canaries via cam.
+func NewProber(cam *camera.Camera) *Prober {
+	return &Prober{cam: cam}
+}
+
+// Probe grades one site. The probe:
+//
+//  1. uploads a labeled active canary — must be accepted with label
+//     intact on serve;
+//  2. uploads a labeled revoked canary — must be refused;
+//  3. revokes the first canary and requests a recheck — the site must
+//     take it down.
+func (p *Prober) Probe(site Site, seed int64) (*ProbeReport, error) {
+	now := time.Now
+	if p.Clock != nil {
+		now = p.Clock
+	}
+	rep := &ProbeReport{ProbedAt: now()}
+	fail := func(format string, args ...any) {
+		rep.Findings = append(rep.Findings, "FAIL: "+fmt.Sprintf(format, args...))
+	}
+	pass := func(format string, args ...any) {
+		rep.Findings = append(rep.Findings, "ok: "+fmt.Sprintf(format, args...))
+	}
+
+	// Check 1: active canary hosted with label intact.
+	labeled, owned, err := p.cam.ClaimAndLabel(p.cam.Shoot(seed, 192, 128))
+	if err != nil {
+		return nil, err
+	}
+	res, err := site.Upload(labeled)
+	if err != nil || !res.Accepted {
+		fail("active canary refused (%v)", res.Reason)
+	} else {
+		served, err := site.Serve(owned.ID)
+		if err != nil {
+			fail("active canary not servable: %v", err)
+		} else if served.Meta.Get(photo.KeyIRSID) != owned.ID.String() {
+			fail("site strips IRS labels on serve")
+		} else {
+			pass("active canary hosted with label intact")
+		}
+	}
+
+	// Check 2: revoked canary refused at upload.
+	revLabeled, revOwned, err := p.cam.ClaimAndLabel(p.cam.Shoot(seed+1, 192, 128))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.cam.Revoke(revOwned.ID); err != nil {
+		return nil, err
+	}
+	res, err = site.Upload(revLabeled)
+	if err == nil && res.Accepted {
+		fail("site accepted a revoked upload")
+	} else {
+		pass("revoked upload refused")
+	}
+
+	// Check 3: post-hoc revocation honored on recheck.
+	if err := p.cam.Revoke(owned.ID); err != nil {
+		return nil, err
+	}
+	if _, err := site.RecheckAll(); err != nil {
+		fail("recheck errored: %v", err)
+	}
+	if _, err := site.Serve(owned.ID); err == nil {
+		fail("site still serves a photo revoked after upload")
+	} else {
+		pass("post-hoc revocation honored")
+	}
+
+	failures := 0
+	for _, f := range rep.Findings {
+		if len(f) >= 4 && f[:4] == "FAIL" {
+			failures++
+		}
+	}
+	switch {
+	case failures == 0:
+		rep.Grade = GradeCompliant
+	case failures >= 2:
+		rep.Grade = GradeNonCompliant
+	default:
+		rep.Grade = GradePartial
+	}
+	return rep, nil
+}
+
+// Registry is the third-party rating service: it stores and publishes
+// the latest grade per site name. Safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	grades map[string]*ProbeReport
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{grades: make(map[string]*ProbeReport)}
+}
+
+// Publish records a probe report for a site.
+func (r *Registry) Publish(site string, rep *ProbeReport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.grades[site] = rep
+}
+
+// Grade returns the published grade (GradeUnknown if never probed).
+func (r *Registry) Grade(site string) Grade {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if rep, ok := r.grades[site]; ok {
+		return rep.Grade
+	}
+	return GradeUnknown
+}
+
+// Report returns the full published report, if any.
+func (r *Registry) Report(site string) (*ProbeReport, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rep, ok := r.grades[site]
+	return rep, ok
+}
+
+// Rank applies the search-engine lever: given a base relevance score,
+// return the adjusted score for a site.
+func (r *Registry) Rank(site string, baseScore float64) float64 {
+	return baseScore * RankPenalty(r.Grade(site))
+}

@@ -1,0 +1,142 @@
+package rating
+
+import (
+	"testing"
+
+	"irs/internal/aggregator"
+	"irs/internal/camera"
+	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/photo"
+	"irs/internal/wire"
+)
+
+// carelessSite hosts anything and never revalidates — the non-IRS
+// incumbent of §4.1/§4.4.
+type carelessSite struct {
+	photos map[ids.PhotoID]*photo.Image
+}
+
+func newCarelessSite() *carelessSite {
+	return &carelessSite{photos: make(map[ids.PhotoID]*photo.Image)}
+}
+
+func (s *carelessSite) Upload(im *photo.Image) (aggregator.UploadResult, error) {
+	// Strips metadata (like real sites) and hosts unconditionally.
+	stripped, err := photo.StripViaPNM(im)
+	if err != nil {
+		return aggregator.UploadResult{}, err
+	}
+	id, err := ids.New(999)
+	if err != nil {
+		return aggregator.UploadResult{}, err
+	}
+	// Remember under the label id too, if one was present, so Serve
+	// works for the prober.
+	if raw := im.Meta.Get(photo.KeyIRSID); raw != "" {
+		if labelID, perr := ids.Parse(raw); perr == nil {
+			id = labelID
+		}
+	}
+	s.photos[id] = stripped
+	return aggregator.UploadResult{Accepted: true, ID: id}, nil
+}
+
+func (s *carelessSite) Serve(id ids.PhotoID) (*photo.Image, error) {
+	im, ok := s.photos[id]
+	if !ok {
+		return nil, aggregator.ErrNotHosted
+	}
+	return im.Clone(), nil
+}
+
+func (s *carelessSite) RecheckAll() (int, error) { return 0, nil }
+
+func newProberRig(t *testing.T) (*Prober, *aggregator.Aggregator) {
+	t.Helper()
+	l, err := ledger.New(ledger.Config{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	dir := wire.NewDirectory()
+	dir.Register(1, &wire.Loopback{L: l})
+	agg, err := aggregator.New(aggregator.Config{Name: "good-site"}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := camera.New(&wire.Loopback{L: l}, "irs://1", nil)
+	return NewProber(cam), agg
+}
+
+func TestProbeCompliantSite(t *testing.T) {
+	p, agg := newProberRig(t)
+	rep, err := p.Probe(agg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grade != GradeCompliant {
+		t.Fatalf("IRS aggregator graded %v: %v", rep.Grade, rep.Findings)
+	}
+}
+
+func TestProbeCarelessSite(t *testing.T) {
+	p, _ := newProberRig(t)
+	rep, err := p.Probe(newCarelessSite(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grade != GradeNonCompliant {
+		t.Fatalf("careless site graded %v: %v", rep.Grade, rep.Findings)
+	}
+}
+
+func TestRegistryAndRanking(t *testing.T) {
+	p, agg := newProberRig(t)
+	reg := NewRegistry()
+
+	goodRep, err := p.Probe(agg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Publish("good.example", goodRep)
+	badRep, err := p.Probe(newCarelessSite(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Publish("bad.example", badRep)
+
+	if reg.Grade("good.example") != GradeCompliant {
+		t.Error("good site grade wrong")
+	}
+	if reg.Grade("bad.example") != GradeNonCompliant {
+		t.Error("bad site grade wrong")
+	}
+	if reg.Grade("never.probed") != GradeUnknown {
+		t.Error("unprobed site should be unknown")
+	}
+	// The search lever: equal base relevance, compliance decides order.
+	good := reg.Rank("good.example", 1.0)
+	bad := reg.Rank("bad.example", 1.0)
+	unknown := reg.Rank("never.probed", 1.0)
+	if !(good > unknown && unknown > bad) {
+		t.Errorf("ranking order wrong: good=%.2f unknown=%.2f bad=%.2f", good, unknown, bad)
+	}
+	if _, ok := reg.Report("good.example"); !ok {
+		t.Error("report missing")
+	}
+}
+
+func TestBadges(t *testing.T) {
+	if BadgeFor(GradeCompliant) == BadgeFor(GradeNonCompliant) {
+		t.Error("badges indistinguishable")
+	}
+	for _, g := range []Grade{GradeUnknown, GradeNonCompliant, GradePartial, GradeCompliant} {
+		if BadgeFor(g) == "" || g.String() == "" {
+			t.Errorf("empty badge/string for %d", g)
+		}
+		if RankPenalty(g) <= 0 || RankPenalty(g) > 1 {
+			t.Errorf("penalty out of range for %v", g)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package relay
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"irs/internal/wire"
+)
+
+// wireJSON marshals v into a reader for http.Post.
+func wireJSON(v any) (io.Reader, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(b), nil
+}
+
+// HTTP binding for the two hops.
+//
+//	POST /v1/relay   body SealedQuery JSON → {"box": <sealed response>}
+//
+// The ingress serves the same path as the egress; clients talk to the
+// ingress, which forwards the body verbatim. Privacy lives in what the
+// ingress does NOT forward: no client address, no cookies, no headers —
+// the forwarded request carries exactly the sealed blob.
+
+// SealedResponse is the JSON wrapper for the sealed response bytes.
+type SealedResponse struct {
+	Box []byte `json:"box"`
+}
+
+// EgressServer exposes an Egress over HTTP.
+type EgressServer struct {
+	egress *Egress
+	mux    *http.ServeMux
+}
+
+// NewEgressServer wraps an egress.
+func NewEgressServer(e *Egress) *EgressServer {
+	s := &EgressServer{egress: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/relay", s.handleRelay)
+	s.mux.HandleFunc("GET /v1/relay-key", s.handleKey)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *EgressServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *EgressServer) handleRelay(w http.ResponseWriter, r *http.Request) {
+	var q SealedQuery
+	if err := wire.ReadJSON(r.Body, &q); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	box, err := s.egress.Handle(&q)
+	if err != nil {
+		// Deliberately generic: error detail could leak query structure
+		// to the ingress, which relays this response.
+		wire.WriteError(w, http.StatusBadRequest, "relay: cannot process query")
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, &SealedResponse{Box: box})
+}
+
+func (s *EgressServer) handleKey(w http.ResponseWriter, r *http.Request) {
+	wire.WriteJSON(w, http.StatusOK, map[string][]byte{"key": s.egress.PublicKey()})
+}
+
+// Ingress is the first hop: an HTTP handler that forwards sealed
+// queries to the egress with all client identification stripped.
+type Ingress struct {
+	egressURL string
+	client    *http.Client
+	mux       *http.ServeMux
+}
+
+// NewIngress creates an ingress forwarding to the given egress base
+// URL.
+func NewIngress(egressURL string) *Ingress {
+	in := &Ingress{egressURL: egressURL, client: &http.Client{}, mux: http.NewServeMux()}
+	in.mux.HandleFunc("POST /v1/relay", in.handleForward)
+	return in
+}
+
+// ServeHTTP implements http.Handler.
+func (in *Ingress) ServeHTTP(w http.ResponseWriter, r *http.Request) { in.mux.ServeHTTP(w, r) }
+
+func (in *Ingress) handleForward(w http.ResponseWriter, r *http.Request) {
+	// Re-parse and re-serialize rather than streaming the body: this
+	// guarantees nothing beyond the sealed fields can ride along
+	// (padding, smuggled headers in a malformed body, etc.).
+	var q SealedQuery
+	if err := wire.ReadJSON(r.Body, &q); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := forwardSealed(in.client, in.egressURL, &q)
+	if err != nil {
+		wire.WriteError(w, http.StatusBadGateway, "relay: egress unreachable")
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, resp)
+}
+
+// forwardSealed posts a sealed query to an egress and parses the sealed
+// response. Shared by the ingress and by test clients.
+func forwardSealed(c *http.Client, egressURL string, q *SealedQuery) (*SealedResponse, error) {
+	body, err := wireJSON(q)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Post(egressURL+"/v1/relay", "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out SealedResponse
+	if err := wire.ReadJSON(resp.Body, &out); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &wire.Error{Code: resp.StatusCode, Message: "relay: egress refused"}
+	}
+	return &out, nil
+}

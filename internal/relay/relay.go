@@ -1,0 +1,231 @@
+// Package relay implements the oblivious two-hop validation path of
+// paper §4.2.
+//
+// A single trusted proxy still *sees* which user validates which photo.
+// The paper points at the deployed systems that fix this — "Oblivious
+// DNS (currently offered by Cloudflare, PCCW Global, SURF, and
+// Equinix), and Apple's Private Relay. At their most essential, these
+// solutions insert trusted proxies which aggregate the requests from
+// many users" — and proposes "making use of this same approach".
+//
+// The structure here mirrors Oblivious DoH:
+//
+//   - the browser encrypts its validation query against the *egress*
+//     relay's public key (X25519 ECDH → HKDF-SHA256 → AES-256-GCM) and
+//     sends it to the *ingress* relay;
+//   - the ingress knows who the client is but sees only an opaque
+//     sealed blob; it forwards the blob with no client identification;
+//   - the egress decrypts and resolves the query (through the usual
+//     proxy.Validator machinery — filter, cache, ledger) but never
+//     learns which client asked;
+//   - the response is sealed back under the same per-query key.
+//
+// No single party links (client, photo). The tests in relay_test.go
+// assert the two non-collusion properties directly.
+package relay
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"irs/internal/ids"
+	"irs/internal/ledger"
+)
+
+// hkdf derives length bytes from the shared secret per RFC 5869 with
+// SHA-256, binding the context info into the expansion.
+func hkdf(secret, salt, info []byte, length int) []byte {
+	// Extract.
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(secret)
+	prk := ext.Sum(nil)
+	// Expand.
+	var out []byte
+	var prev []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		h := hmac.New(sha256.New, prk)
+		h.Write(prev)
+		h.Write(info)
+		h.Write([]byte{counter})
+		prev = h.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length]
+}
+
+// Domain-separation labels for the two directions.
+var (
+	labelQuery    = []byte("irs-relay-query-v1")
+	labelResponse = []byte("irs-relay-response-v1")
+)
+
+// SealedQuery is the wire form the ingress forwards verbatim: the
+// client's ephemeral public key followed by nonce ∥ AEAD ciphertext.
+type SealedQuery struct {
+	// EphemeralPub is the client's X25519 public key (32 bytes).
+	EphemeralPub []byte `json:"eph"`
+	// Box is nonce ∥ ciphertext of the 16-byte photo identifier.
+	Box []byte `json:"box"`
+}
+
+// Client seals queries for a given egress.
+type Client struct {
+	egressPub *ecdh.PublicKey
+}
+
+// NewClient creates a client trusting the egress public key (fetched
+// out of band, e.g. pinned in the extension like DoH resolver keys).
+func NewClient(egressPub []byte) (*Client, error) {
+	pub, err := ecdh.X25519().NewPublicKey(egressPub)
+	if err != nil {
+		return nil, fmt.Errorf("relay: bad egress key: %w", err)
+	}
+	return &Client{egressPub: pub}, nil
+}
+
+// queryKeys derives the two direction keys for a shared secret.
+func queryKeys(shared, ephPub []byte) (q, r []byte) {
+	q = hkdf(shared, ephPub, labelQuery, 32)
+	r = hkdf(shared, ephPub, labelResponse, 32)
+	return
+}
+
+func seal(key, plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return aead.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+func open(key, box []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(box) < aead.NonceSize() {
+		return nil, errors.New("relay: box too short")
+	}
+	return aead.Open(nil, box[:aead.NonceSize()], box[aead.NonceSize():], nil)
+}
+
+// PendingQuery holds the client-side state needed to open the response.
+type PendingQuery struct {
+	respKey []byte
+}
+
+// Seal encrypts a validation query for the egress. The returned
+// SealedQuery goes to the ingress; the PendingQuery opens the reply.
+func (c *Client) Seal(id ids.PhotoID) (*SealedQuery, *PendingQuery, error) {
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("relay: ephemeral keygen: %w", err)
+	}
+	shared, err := eph.ECDH(c.egressPub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("relay: ecdh: %w", err)
+	}
+	ephPub := eph.PublicKey().Bytes()
+	qKey, rKey := queryKeys(shared, ephPub)
+	idb := id.Bytes()
+	box, err := seal(qKey, idb[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SealedQuery{EphemeralPub: ephPub, Box: box},
+		&PendingQuery{respKey: rKey}, nil
+}
+
+// Response is the egress's answer, decrypted client-side.
+type Response struct {
+	// State is the validation outcome.
+	State ledger.State
+	// Proof is the marshaled ledger status proof when one was fetched
+	// (empty for filter-miss answers).
+	Proof []byte
+}
+
+// Open decrypts a sealed response.
+func (p *PendingQuery) Open(sealedResp []byte) (*Response, error) {
+	plain, err := open(p.respKey, sealedResp)
+	if err != nil {
+		return nil, fmt.Errorf("relay: opening response: %w", err)
+	}
+	if len(plain) < 1 {
+		return nil, errors.New("relay: empty response")
+	}
+	return &Response{State: ledger.State(plain[0]), Proof: plain[1:]}, nil
+}
+
+// Resolver answers decrypted queries; proxy.Validator-backed in
+// production.
+type Resolver func(ids.PhotoID) (state ledger.State, proof []byte, err error)
+
+// Egress is the second hop: it holds the decryption key and the
+// resolver, and never sees client identity (the ingress strips it).
+type Egress struct {
+	priv    *ecdh.PrivateKey
+	resolve Resolver
+}
+
+// NewEgress creates an egress with a fresh X25519 keypair.
+func NewEgress(resolve Resolver) (*Egress, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("relay: egress keygen: %w", err)
+	}
+	return &Egress{priv: priv, resolve: resolve}, nil
+}
+
+// PublicKey returns the key clients seal against.
+func (e *Egress) PublicKey() []byte { return e.priv.PublicKey().Bytes() }
+
+// Handle decrypts one sealed query, resolves it, and returns the sealed
+// response. It receives no client identification by construction.
+func (e *Egress) Handle(q *SealedQuery) ([]byte, error) {
+	ephPub, err := ecdh.X25519().NewPublicKey(q.EphemeralPub)
+	if err != nil {
+		return nil, fmt.Errorf("relay: bad ephemeral key: %w", err)
+	}
+	shared, err := e.priv.ECDH(ephPub)
+	if err != nil {
+		return nil, fmt.Errorf("relay: ecdh: %w", err)
+	}
+	qKey, rKey := queryKeys(shared, q.EphemeralPub)
+	plain, err := open(qKey, q.Box)
+	if err != nil {
+		return nil, fmt.Errorf("relay: opening query: %w", err)
+	}
+	if len(plain) != 16 {
+		return nil, errors.New("relay: query must be a 16-byte photo id")
+	}
+	var raw [16]byte
+	copy(raw[:], plain)
+	id := ids.FromBytes(raw)
+	state, proof, err := e.resolve(id)
+	if err != nil {
+		return nil, fmt.Errorf("relay: resolving: %w", err)
+	}
+	resp := make([]byte, 0, 1+len(proof))
+	resp = append(resp, byte(state))
+	resp = append(resp, proof...)
+	return seal(rKey, resp)
+}

@@ -1,0 +1,260 @@
+// Package tet simulates Technology Ecosystem Transformation — the
+// paper's core strategic claim, made executable.
+//
+// The paper argues (§1, §4.1, §6) that IRS can bootstrap without
+// incumbent cooperation: pro-privacy browser vendors deploy extensions
+// and ledgers ("first movers"); users of those browsers register photos;
+// and once adoption and the registered-photo base are large enough, the
+// incumbents' own incentives flip — "for those companies branding
+// themselves as 'pro-privacy' this would be seen as a competitive
+// advantage ... and for all companies not supporting IRS, their lack of
+// support could become a legal liability". The paper pins the scale at
+// which "the ecosystem incentives will start to kick in" to roughly the
+// bootstrap design's capacity limit of 100 billion photos (§4.4).
+//
+// The model is a deterministic monthly simulation:
+//
+//   - User adoption u(t) follows logistic growth toward a ceiling set by
+//     the first-mover browsers' market share, lifted as aggregators
+//     adopt (users gain utility when the platforms they use respect
+//     revocation — the TET feedback loop).
+//   - The registered-photo base P(t) grows with adoption.
+//   - Each aggregator adopts when its payoff turns positive:
+//     brand gain (∝ its privacy affinity × u) plus legal liability
+//     (∝ u × min(1, P/Trigger)) minus engagement cost (∝ 1 − affinity).
+//
+// The two TET criteria become measurable: criterion (i) is whether the
+// first-mover share sustains any bootstrap at all; criterion (ii) is
+// whether and when incumbent payoffs cross zero. E8 sweeps both knobs.
+package tet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Aggregator is one incumbent content aggregator.
+type Aggregator struct {
+	// Name identifies the aggregator in reports.
+	Name string
+	// Share is its user market share in [0, 1].
+	Share float64
+	// Brand is its privacy-brand affinity in [0, 1]: 1 behaves like a
+	// privacy-first company, 0 like a pure engagement maximizer.
+	Brand float64
+}
+
+// Params are the simulation knobs. DefaultParams documents the baseline
+// narrative calibration.
+type Params struct {
+	// FirstMoverShare is the user share of browsers that ship IRS in the
+	// bootstrap phase — TET criterion (i).
+	FirstMoverShare float64
+	// OrganicRate is the monthly logistic growth rate of user adoption
+	// within the reachable ceiling.
+	OrganicRate float64
+	// SeedAdoption is the initial adopter fraction (of FirstMoverShare).
+	SeedAdoption float64
+	// PhotoRate is registered photos added per month at full adoption,
+	// in billions.
+	PhotoRate float64
+	// TriggerPhotos is the registered-photo base, in billions, at which
+	// legal liability fully materializes (the paper's ~100 B bootstrap
+	// capacity).
+	TriggerPhotos float64
+	// BrandGain scales the competitive-advantage payoff term.
+	BrandGain float64
+	// LiabilityWeight scales the legal-liability payoff term — TET
+	// criterion (ii)'s main knob.
+	LiabilityWeight float64
+	// EngagementCost is the payoff penalty for engagement-driven
+	// aggregators.
+	EngagementCost float64
+	// Spillover is how much of an adopted aggregator's share lifts the
+	// user-adoption ceiling.
+	Spillover float64
+	// Months bounds the simulation horizon.
+	Months int
+}
+
+// DefaultParams returns the baseline calibration: Firefox-scale first
+// movers (~8% share), a 100 B-photo liability trigger, and a 15-year
+// horizon.
+func DefaultParams() Params {
+	return Params{
+		FirstMoverShare: 0.08,
+		OrganicRate:     0.25,
+		SeedAdoption:    0.02,
+		PhotoRate:       4.0, // ~4 B photos/month at full adoption
+		TriggerPhotos:   100,
+		BrandGain:       1.2,
+		LiabilityWeight: 2.0,
+		EngagementCost:  0.35,
+		Spillover:       0.9,
+		Months:          180,
+	}
+}
+
+// DefaultAggregators returns the baseline incumbent population: one
+// privacy-branded player, two mainstream, one engagement-maximizing.
+func DefaultAggregators() []Aggregator {
+	return []Aggregator{
+		{Name: "privacy-first", Share: 0.10, Brand: 0.9},
+		{Name: "mainstream-a", Share: 0.30, Brand: 0.5},
+		{Name: "mainstream-b", Share: 0.25, Brand: 0.4},
+		{Name: "engagement-max", Share: 0.35, Brand: 0.1},
+	}
+}
+
+// Step is one month's state.
+type Step struct {
+	Month int
+	// UserAdoption is the fraction of all users running IRS-enabled
+	// browsers.
+	UserAdoption float64
+	// Photos is the registered-photo base in billions.
+	Photos float64
+	// AdoptedShare is the aggregator market share supporting IRS.
+	AdoptedShare float64
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Timeline []Step
+	// AdoptionMonth maps aggregator name to the month its payoff crossed
+	// zero; absent means never within the horizon.
+	AdoptionMonth map[string]int
+	// TriggerMonth is when the photo base crossed TriggerPhotos (-1 if
+	// never).
+	TriggerMonth int
+	// Final is the last step.
+	Final Step
+}
+
+// Payoff computes an aggregator's adoption payoff under current
+// conditions; adoption occurs when it turns positive.
+func Payoff(p Params, a Aggregator, userAdoption, photosBillions float64) float64 {
+	liability := p.LiabilityWeight * userAdoption * math.Min(1, photosBillions/p.TriggerPhotos)
+	brand := p.BrandGain * a.Brand * userAdoption
+	cost := p.EngagementCost * (1 - a.Brand)
+	return brand + liability - cost
+}
+
+// Run executes the simulation.
+func Run(p Params, aggs []Aggregator) (*Result, error) {
+	if p.Months <= 0 {
+		return nil, errors.New("tet: Months must be positive")
+	}
+	if p.FirstMoverShare < 0 || p.FirstMoverShare > 1 {
+		return nil, fmt.Errorf("tet: FirstMoverShare %g out of [0,1]", p.FirstMoverShare)
+	}
+	adopted := make([]bool, len(aggs))
+	res := &Result{
+		AdoptionMonth: make(map[string]int),
+		TriggerMonth:  -1,
+	}
+	u := p.FirstMoverShare * p.SeedAdoption
+	photos := 0.0
+	for m := 0; m < p.Months; m++ {
+		// Ceiling: first movers plus spillover from adopted aggregators.
+		ceiling := p.FirstMoverShare
+		adoptedShare := 0.0
+		for i, a := range aggs {
+			if adopted[i] {
+				ceiling += a.Share * p.Spillover
+				adoptedShare += a.Share
+			}
+		}
+		if ceiling > 1 {
+			ceiling = 1
+		}
+		// Logistic growth within the ceiling.
+		if ceiling > 0 {
+			u += p.OrganicRate * u * (1 - u/ceiling)
+		}
+		if u > ceiling {
+			u = ceiling
+		}
+		photos += u * p.PhotoRate
+		if res.TriggerMonth < 0 && photos >= p.TriggerPhotos {
+			res.TriggerMonth = m
+		}
+		// Adoption decisions (irreversible; supporting IRS then dropping
+		// it would be a reputational disaster).
+		for i, a := range aggs {
+			if !adopted[i] && Payoff(p, a, u, photos) > 0 {
+				adopted[i] = true
+				res.AdoptionMonth[a.Name] = m
+			}
+		}
+		res.Timeline = append(res.Timeline, Step{
+			Month:        m,
+			UserAdoption: u,
+			Photos:       photos,
+			AdoptedShare: adoptedShare,
+		})
+	}
+	res.Final = res.Timeline[len(res.Timeline)-1]
+	return res, nil
+}
+
+// SweepPoint is one cell of the E8 sweep.
+type SweepPoint struct {
+	FirstMoverShare float64
+	LiabilityWeight float64
+	// FirstIncumbentMonth is when the first aggregator adopted (-1 if
+	// never).
+	FirstIncumbentMonth int
+	// FullAdoptionMonth is when every aggregator had adopted (-1 if
+	// never).
+	FullAdoptionMonth int
+	// FinalUserAdoption is u at the horizon.
+	FinalUserAdoption float64
+	// FinalPhotos is the photo base at the horizon (billions).
+	FinalPhotos float64
+}
+
+// Sweep runs the grid of first-mover shares × liability weights over the
+// default aggregator population — the E8 experiment body.
+func Sweep(base Params, firstMovers, liabilities []float64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, fm := range firstMovers {
+		for _, lw := range liabilities {
+			p := base
+			p.FirstMoverShare = fm
+			p.LiabilityWeight = lw
+			aggs := DefaultAggregators()
+			r, err := Run(p, aggs)
+			if err != nil {
+				return nil, err
+			}
+			pt := SweepPoint{
+				FirstMoverShare:     fm,
+				LiabilityWeight:     lw,
+				FirstIncumbentMonth: -1,
+				FullAdoptionMonth:   -1,
+				FinalUserAdoption:   r.Final.UserAdoption,
+				FinalPhotos:         r.Final.Photos,
+			}
+			if len(r.AdoptionMonth) > 0 {
+				first := math.MaxInt
+				last := -1
+				for _, m := range r.AdoptionMonth {
+					if m < first {
+						first = m
+					}
+					if m > last {
+						last = m
+					}
+				}
+				pt.FirstIncumbentMonth = first
+				if len(r.AdoptionMonth) == len(aggs) {
+					pt.FullAdoptionMonth = last
+				}
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package tet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	p := DefaultParams()
+	p.Months = 0
+	if _, err := Run(p, DefaultAggregators()); err == nil {
+		t.Error("Months=0 accepted")
+	}
+	p = DefaultParams()
+	p.FirstMoverShare = 1.5
+	if _, err := Run(p, DefaultAggregators()); err == nil {
+		t.Error("share > 1 accepted")
+	}
+}
+
+func TestNoFirstMoversNoTransformation(t *testing.T) {
+	// TET criterion (i): without deployable first movers nothing starts.
+	p := DefaultParams()
+	p.FirstMoverShare = 0
+	r, err := Run(p, DefaultAggregators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Final.UserAdoption != 0 {
+		t.Errorf("adoption %g with zero first movers", r.Final.UserAdoption)
+	}
+	if len(r.AdoptionMonth) != 0 {
+		t.Errorf("aggregators adopted with zero user base: %v", r.AdoptionMonth)
+	}
+	if r.TriggerMonth != -1 {
+		t.Error("photo trigger crossed with no users")
+	}
+}
+
+func TestBaselineNarrative(t *testing.T) {
+	// The paper's intended arc under default calibration: the bootstrap
+	// grows within the first-mover base, the privacy-branded aggregator
+	// adopts first, liability flips the rest, and adoption ends far
+	// above the first-mover ceiling.
+	p := DefaultParams()
+	aggs := DefaultAggregators()
+	r, err := Run(p, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AdoptionMonth) != len(aggs) {
+		t.Fatalf("only %d/%d aggregators adopted: %v", len(r.AdoptionMonth), len(aggs), r.AdoptionMonth)
+	}
+	mPrivacy := r.AdoptionMonth["privacy-first"]
+	mEngagement := r.AdoptionMonth["engagement-max"]
+	if mPrivacy >= mEngagement {
+		t.Errorf("privacy-first adopted at %d, engagement-max at %d — order inverted", mPrivacy, mEngagement)
+	}
+	if r.Final.UserAdoption <= p.FirstMoverShare {
+		t.Errorf("final adoption %.3f never escaped the first-mover ceiling %.3f",
+			r.Final.UserAdoption, p.FirstMoverShare)
+	}
+	if r.TriggerMonth < 0 {
+		t.Error("photo base never reached the 100B trigger under defaults")
+	}
+}
+
+func TestAdoptionMonotoneInLiability(t *testing.T) {
+	p := DefaultParams()
+	first := func(lw float64) int {
+		p.LiabilityWeight = lw
+		r, err := Run(p, DefaultAggregators())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, ok := r.AdoptionMonth["engagement-max"]
+		if !ok {
+			return p.Months + 1
+		}
+		return m
+	}
+	weak := first(0.5)
+	strong := first(4.0)
+	if strong > weak {
+		t.Errorf("stronger liability adopted later: %d vs %d", strong, weak)
+	}
+}
+
+func TestSpilloverLiftsCeiling(t *testing.T) {
+	p := DefaultParams()
+	r, err := Run(p, DefaultAggregators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any aggregator adopts, adoption is bounded by the
+	// first-mover share.
+	firstAdoption := p.Months
+	for _, m := range r.AdoptionMonth {
+		if m < firstAdoption {
+			firstAdoption = m
+		}
+	}
+	for _, s := range r.Timeline[:firstAdoption] {
+		if s.UserAdoption > p.FirstMoverShare+1e-9 {
+			t.Fatalf("month %d adoption %.4f exceeded first-mover ceiling before any aggregator adopted",
+				s.Month, s.UserAdoption)
+		}
+	}
+}
+
+func TestPhotosMonotone(t *testing.T) {
+	r, err := Run(DefaultParams(), DefaultAggregators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, s := range r.Timeline {
+		if s.Photos < prev {
+			t.Fatalf("photo base shrank at month %d", s.Month)
+		}
+		prev = s.Photos
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(DefaultParams(), DefaultAggregators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DefaultParams(), DefaultAggregators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Final != b.Final || a.TriggerMonth != b.TriggerMonth {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func TestPayoffStructure(t *testing.T) {
+	p := DefaultParams()
+	privacy := Aggregator{Name: "p", Share: 0.2, Brand: 0.9}
+	engagement := Aggregator{Name: "e", Share: 0.2, Brand: 0.1}
+	// With zero adoption, nobody has a positive payoff: unilateral
+	// adoption has "no immediate payoff" (§4.1).
+	if Payoff(p, privacy, 0, 0) > 0 {
+		t.Error("privacy aggregator adopts with zero users — contradicts §4.1")
+	}
+	if Payoff(p, engagement, 0, 0) > 0 {
+		t.Error("engagement aggregator adopts with zero users")
+	}
+	// At high adoption + full trigger, everyone's payoff is positive.
+	if Payoff(p, engagement, 0.5, p.TriggerPhotos) <= 0 {
+		t.Error("liability at full trigger fails to flip engagement-max")
+	}
+	// Privacy brands flip earlier (at lower adoption).
+	uStar := func(a Aggregator) float64 {
+		for u := 0.0; u <= 1.0; u += 0.001 {
+			if Payoff(p, a, u, 0) > 0 {
+				return u
+			}
+		}
+		return math.Inf(1)
+	}
+	if uStar(privacy) >= uStar(engagement) {
+		t.Error("privacy brand does not flip before engagement brand")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	pts, err := Sweep(DefaultParams(), []float64{0, 0.05, 0.15}, []float64{0.5, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("sweep size %d", len(pts))
+	}
+	// Zero first movers never transforms.
+	for _, pt := range pts {
+		if pt.FirstMoverShare == 0 && pt.FirstIncumbentMonth != -1 {
+			t.Errorf("transformation with zero first movers: %+v", pt)
+		}
+	}
+	// More first movers ⇒ no later first-incumbent adoption (holding
+	// liability fixed).
+	byLiability := map[float64]map[float64]int{}
+	for _, pt := range pts {
+		if byLiability[pt.LiabilityWeight] == nil {
+			byLiability[pt.LiabilityWeight] = map[float64]int{}
+		}
+		m := pt.FirstIncumbentMonth
+		if m == -1 {
+			m = 1 << 30
+		}
+		byLiability[pt.LiabilityWeight][pt.FirstMoverShare] = m
+	}
+	for lw, row := range byLiability {
+		if row[0.15] > row[0.05] {
+			t.Errorf("liability %g: 15%% first movers adopted later than 5%%", lw)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package tokens implements anonymous claim payment — the paper's
+// answer to the question of whether *claiming* a photo leaks the
+// owner's identity (§3.2):
+//
+//	"Some ledger implementations, however, might store payment
+//	information in a way that allows such an association to be made; a
+//	privacy-focused ledger could use a payment system that intentionally
+//	makes such an association difficult even if their database is leaked
+//	(e.g., a payment system where an owner buys tokens which are
+//	exchanged with other users in a mixing market before being used to
+//	pay for claims)."
+//
+// Exactly that scheme is implemented:
+//
+//   - An Issuer (the ledger's payment service) sells bearer tokens:
+//     random serials signed with Ed25519. The issuer necessarily learns
+//     buyer ↔ serial at sale time — that is the linkage to break.
+//   - A Market mixes tokens: participants deposit tokens of the same
+//     denomination; each mixing round reassigns them by a uniform
+//     random permutation. After a round, the issuer's sale records no
+//     longer predict who holds which serial.
+//   - At claim time the owner redeems any valid unspent token. The
+//     issuer can verify validity and prevent double-spends without
+//     learning anything except "someone who once bought (or traded
+//     for) a token is claiming".
+//
+// The unlinkability achieved is mixing-set anonymity (like coin
+// tumblers), not cryptographic blindness: the issuer's posterior over
+// "which buyer is claiming" is uniform over the mixing participants.
+// The tests quantify this directly.
+package tokens
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Token is a signed bearer instrument. Whoever holds a valid unspent
+// token can pay for one claim.
+type Token struct {
+	// Serial is the 16-byte random identifier.
+	Serial [16]byte
+	// Sig is the issuer's Ed25519 signature over "irs-token-v1:"∥serial.
+	Sig []byte
+}
+
+func tokenMsg(serial [16]byte) []byte {
+	msg := make([]byte, 0, 13+16)
+	msg = append(msg, "irs-token-v1:"...)
+	msg = append(msg, serial[:]...)
+	return msg
+}
+
+// Issuer sells, verifies, and redeems tokens. Safe for concurrent use.
+type Issuer struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+
+	mu sync.Mutex
+	// sales is the linkage the mixing market defeats: serial → buyer.
+	// Kept deliberately, modeling a ledger whose database leaks (§3.2).
+	sales map[[16]byte]string
+	spent map[[16]byte]bool
+}
+
+// NewIssuer creates an issuer with a fresh signing key.
+func NewIssuer() (*Issuer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tokens: keygen: %w", err)
+	}
+	return &Issuer{
+		pub:   pub,
+		priv:  priv,
+		sales: make(map[[16]byte]string),
+		spent: make(map[[16]byte]bool),
+	}, nil
+}
+
+// PublicKey returns the verification key.
+func (i *Issuer) PublicKey() ed25519.PublicKey { return i.pub }
+
+// Sell issues a token to the named buyer (the identity the payment rail
+// inevitably reveals: card number, invoice, etc.).
+func (i *Issuer) Sell(buyer string) (*Token, error) {
+	var t Token
+	if _, err := rand.Read(t.Serial[:]); err != nil {
+		return nil, fmt.Errorf("tokens: serial: %w", err)
+	}
+	t.Sig = ed25519.Sign(i.priv, tokenMsg(t.Serial))
+	i.mu.Lock()
+	i.sales[t.Serial] = buyer
+	i.mu.Unlock()
+	return &t, nil
+}
+
+// Verify checks a token's signature without consuming it.
+func Verify(pub ed25519.PublicKey, t *Token) bool {
+	return ed25519.Verify(pub, tokenMsg(t.Serial), t.Sig)
+}
+
+// Redemption errors.
+var (
+	ErrBadToken    = errors.New("tokens: invalid token signature")
+	ErrDoubleSpend = errors.New("tokens: token already spent")
+)
+
+// Redeem consumes a token. The caller presents no identity; the issuer
+// learns only that some token it once sold is being spent.
+func (i *Issuer) Redeem(t *Token) error {
+	if !Verify(i.pub, t) {
+		return ErrBadToken
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.spent[t.Serial] {
+		return ErrDoubleSpend
+	}
+	i.spent[t.Serial] = true
+	return nil
+}
+
+// SoldTo exposes the issuer's sale record — the adversarial view the
+// tests use to quantify unlinkability ("even if their database is
+// leaked").
+func (i *Issuer) SoldTo(serial [16]byte) (string, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	b, ok := i.sales[serial]
+	return b, ok
+}
+
+// Market is a mixing market round: participants deposit one token each
+// and receive a uniformly random other participant's token. Multiple
+// rounds compose. Not safe for concurrent use during Mix.
+type Market struct {
+	mu       sync.Mutex
+	deposits []deposit
+}
+
+type deposit struct {
+	participant string
+	token       *Token
+}
+
+// NewMarket creates an empty market.
+func NewMarket() *Market { return &Market{} }
+
+// Deposit enters a token into the current round.
+func (m *Market) Deposit(participant string, t *Token) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deposits = append(m.deposits, deposit{participant, t})
+}
+
+// Pending reports the number of deposited tokens.
+func (m *Market) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.deposits)
+}
+
+// Mix permutes deposited tokens uniformly (Fisher–Yates over
+// crypto/rand) and returns each participant's new token. The market
+// clears afterwards. At least two participants are required; a mix of
+// one would be a no-op that provides no anonymity.
+func (m *Market) Mix() (map[string]*Token, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.deposits)
+	if n < 2 {
+		return nil, fmt.Errorf("tokens: mixing needs ≥2 participants, have %d", n)
+	}
+	tokensIn := make([]*Token, n)
+	for idx, d := range m.deposits {
+		tokensIn[idx] = d.token
+	}
+	// Fisher–Yates with crypto-quality randomness: the permutation is
+	// the anonymity.
+	for idx := n - 1; idx > 0; idx-- {
+		jBig, err := rand.Int(rand.Reader, big.NewInt(int64(idx+1)))
+		if err != nil {
+			return nil, fmt.Errorf("tokens: mixing randomness: %w", err)
+		}
+		j := int(jBig.Int64())
+		tokensIn[idx], tokensIn[j] = tokensIn[j], tokensIn[idx]
+	}
+	out := make(map[string]*Token, n)
+	for idx, d := range m.deposits {
+		out[d.participant] = tokensIn[idx]
+	}
+	m.deposits = nil
+	return out, nil
+}
+
+// DerangedFraction reports, for a completed mix assignment, the
+// fraction of participants who did NOT get their own token back —
+// diagnostics for the anonymity tests.
+func DerangedFraction(before map[string]*Token, after map[string]*Token) float64 {
+	if len(before) == 0 {
+		return 0
+	}
+	moved := 0
+	for p, t := range after {
+		if before[p] == nil || before[p].Serial != t.Serial {
+			moved++
+		}
+	}
+	return float64(moved) / float64(len(before))
+}
+
+// SerialUint64 folds a serial for histogramming in tests.
+func SerialUint64(s [16]byte) uint64 { return binary.BigEndian.Uint64(s[:8]) }

@@ -1,0 +1,275 @@
+package tokens
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"testing"
+)
+
+func TestSellVerifyRedeem(t *testing.T) {
+	iss, err := NewIssuer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := iss.Sell("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(iss.PublicKey(), tok) {
+		t.Fatal("fresh token fails verification")
+	}
+	if err := iss.Redeem(tok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleSpendRejected(t *testing.T) {
+	iss, err := NewIssuer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := iss.Sell("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iss.Redeem(tok); err != nil {
+		t.Fatal(err)
+	}
+	if err := iss.Redeem(tok); err != ErrDoubleSpend {
+		t.Errorf("got %v, want ErrDoubleSpend", err)
+	}
+}
+
+func TestForgedTokenRejected(t *testing.T) {
+	iss, err := NewIssuer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-signed token from a non-issuer key.
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var forged Token
+	if _, err := rand.Read(forged.Serial[:]); err != nil {
+		t.Fatal(err)
+	}
+	forged.Sig = ed25519.Sign(priv, tokenMsg(forged.Serial))
+	if err := iss.Redeem(&forged); err != ErrBadToken {
+		t.Errorf("got %v, want ErrBadToken", err)
+	}
+	// Tampered serial on a real token.
+	tok, err := iss.Sell("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok.Serial[0] ^= 1
+	if err := iss.Redeem(tok); err != ErrBadToken {
+		t.Errorf("tampered: got %v, want ErrBadToken", err)
+	}
+}
+
+func TestMarketNeedsTwo(t *testing.T) {
+	iss, err := NewIssuer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMarket()
+	if _, err := m.Mix(); err == nil {
+		t.Error("empty mix accepted")
+	}
+	tok, err := iss.Sell("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Deposit("alice", tok)
+	if _, err := m.Mix(); err == nil {
+		t.Error("single-participant mix accepted — provides no anonymity")
+	}
+}
+
+func TestMixPreservesTokens(t *testing.T) {
+	iss, err := NewIssuer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMarket()
+	before := map[string]*Token{}
+	serials := map[[16]byte]bool{}
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("user%d", i)
+		tok, err := iss.Sell(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[name] = tok
+		serials[tok.Serial] = true
+		m.Deposit(name, tok)
+	}
+	after, err := m.Mix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 20 {
+		t.Fatalf("mix returned %d tokens", len(after))
+	}
+	seen := map[[16]byte]bool{}
+	for _, tok := range after {
+		if !serials[tok.Serial] {
+			t.Fatal("mix invented a token")
+		}
+		if seen[tok.Serial] {
+			t.Fatal("mix duplicated a token")
+		}
+		seen[tok.Serial] = true
+		if !Verify(iss.PublicKey(), tok) {
+			t.Fatal("mixed token fails verification")
+		}
+	}
+	if m.Pending() != 0 {
+		t.Error("market not cleared after mix")
+	}
+}
+
+func TestMixBreaksSaleLinkage(t *testing.T) {
+	// The adversarial experiment from §3.2: the issuer's database leaks.
+	// Before mixing, the sale record identifies every redeemer. After
+	// one mixing round over n participants, the record's predictions are
+	// right only ~1/n of the time.
+	iss, err := NewIssuer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	const trials = 40
+	totalCorrect := 0
+	for trial := 0; trial < trials; trial++ {
+		m := NewMarket()
+		before := map[string]*Token{}
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("u%d-%d", trial, i)
+			tok, err := iss.Sell(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before[name] = tok
+			m.Deposit(name, tok)
+		}
+		after, err := m.Mix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The leaked database's guess: serial → original buyer.
+		for holder, tok := range after {
+			buyer, ok := iss.SoldTo(tok.Serial)
+			if !ok {
+				t.Fatal("sale record missing")
+			}
+			if buyer == holder {
+				totalCorrect++
+			}
+		}
+	}
+	rate := float64(totalCorrect) / float64(n*trials)
+	// A uniform permutation gives E[fixed points] = 1 regardless of n,
+	// i.e. rate ≈ 1/n = 2%. Allow generous sampling slack.
+	if rate > 0.08 {
+		t.Errorf("sale record still identifies %.1f%% of holders after mixing; want ~%.0f%%",
+			rate*100, 100.0/n)
+	}
+}
+
+func TestMixedTokensStillRedeemOnce(t *testing.T) {
+	iss, err := NewIssuer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMarket()
+	for i := 0; i < 10; i++ {
+		tok, err := iss.Sell(fmt.Sprintf("user%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Deposit(fmt.Sprintf("user%d", i), tok)
+	}
+	after, err := m.Mix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range after {
+		if err := iss.Redeem(tok); err != nil {
+			t.Fatalf("mixed token redemption: %v", err)
+		}
+	}
+	for _, tok := range after {
+		if err := iss.Redeem(tok); err != ErrDoubleSpend {
+			t.Fatalf("second redemption: %v", err)
+		}
+	}
+}
+
+func TestDerangedFraction(t *testing.T) {
+	iss, err := NewIssuer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := iss.Sell("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := iss.Sell("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]*Token{"a": a, "b": b}
+	same := map[string]*Token{"a": a, "b": b}
+	swapped := map[string]*Token{"a": b, "b": a}
+	if DerangedFraction(before, same) != 0 {
+		t.Error("identity mapping should be 0 deranged")
+	}
+	if DerangedFraction(before, swapped) != 1 {
+		t.Error("full swap should be 1 deranged")
+	}
+	if DerangedFraction(nil, nil) != 0 {
+		t.Error("empty should be 0")
+	}
+}
+
+func BenchmarkSell(b *testing.B) {
+	iss, err := NewIssuer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := iss.Sell("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMix100(b *testing.B) {
+	iss, err := NewIssuer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	toks := make([]*Token, 100)
+	for i := range toks {
+		toks[i], err = iss.Sell("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMarket()
+		for j, tok := range toks {
+			m.Deposit(fmt.Sprintf("u%d", j), tok)
+		}
+		if _, err := m.Mix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

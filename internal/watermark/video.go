@@ -1,0 +1,64 @@
+package watermark
+
+import (
+	"irs/internal/photo"
+)
+
+// Video watermarking: one payload embedded independently in every
+// frame, extraction by voting across frames. Per-frame redundancy is
+// what the video medium buys: even transforms that defeat a single
+// frame's read (heavy per-frame compression, dropped frames) leave
+// enough agreeing frames to recover the identifier.
+
+// EmbedVideo embeds payload into every frame of a copy of v.
+func EmbedVideo(v *photo.Video, payload [PayloadBytes]byte, cfg Config) (*photo.Video, error) {
+	out := v.Clone()
+	for i, f := range out.Frames {
+		wm, err := Embed(f, payload, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Frames[i] = wm
+	}
+	return out, nil
+}
+
+// VideoResult reports a video extraction.
+type VideoResult struct {
+	Payload [PayloadBytes]byte
+	// FramesAgreeing counts frames whose individual read matched the
+	// winning payload.
+	FramesAgreeing int
+	// FramesRead counts frames with any valid read.
+	FramesRead int
+}
+
+// ExtractVideo reads each frame (aligned fast path, then geometric
+// search) and returns the majority payload. It fails only when no frame
+// yields a valid read.
+func ExtractVideo(v *photo.Video, cfg Config) (VideoResult, error) {
+	votes := make(map[[PayloadBytes]byte]int)
+	read := 0
+	for _, f := range v.Frames {
+		res, err := ExtractAligned(f, cfg)
+		if err != nil {
+			res, err = Extract(f, cfg)
+		}
+		if err != nil {
+			continue
+		}
+		votes[res.Payload]++
+		read++
+	}
+	if read == 0 {
+		return VideoResult{}, ErrNotFound
+	}
+	var best [PayloadBytes]byte
+	bestN := -1
+	for p, n := range votes {
+		if n > bestN {
+			best, bestN = p, n
+		}
+	}
+	return VideoResult{Payload: best, FramesAgreeing: bestN, FramesRead: read}, nil
+}

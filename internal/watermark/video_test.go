@@ -1,0 +1,111 @@
+package watermark
+
+import (
+	"testing"
+
+	"irs/internal/photo"
+)
+
+func mustVideo(t testing.TB, seed int64, frames int) *photo.Video {
+	t.Helper()
+	v, err := photo.SynthVideo(seed, 192, 128, frames, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVideoEmbedExtract(t *testing.T) {
+	cfg := DefaultConfig()
+	v := mustVideo(t, 1, 8)
+	p := payloadFromSeed(70)
+	wm, err := EmbedVideo(v, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtractVideo(wm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload != p {
+		t.Fatal("payload mismatch")
+	}
+	if res.FramesAgreeing != 8 || res.FramesRead != 8 {
+		t.Errorf("agreement %d/%d, want 8/8", res.FramesAgreeing, res.FramesRead)
+	}
+	// Input untouched.
+	if _, err := ExtractVideo(v, cfg); err == nil {
+		t.Error("original video has a watermark?")
+	}
+}
+
+func TestVideoSurvivesTranscode(t *testing.T) {
+	cfg := DefaultConfig()
+	v := mustVideo(t, 2, 6)
+	p := payloadFromSeed(71)
+	wm, err := EmbedVideo(v, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtractVideo(photo.TranscodeVideo(wm, 60), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload != p {
+		t.Error("payload lost after transcode")
+	}
+}
+
+func TestVideoSurvivesFrameDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	v := mustVideo(t, 3, 12)
+	p := payloadFromSeed(72)
+	wm, err := EmbedVideo(v, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := photo.DropFrames(wm, 3) // keep every 3rd frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtractVideo(dropped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload != p {
+		t.Error("payload lost after frame drops")
+	}
+	if res.FramesRead != 4 {
+		t.Errorf("read %d frames, want 4", res.FramesRead)
+	}
+}
+
+func TestVideoMajorityVoting(t *testing.T) {
+	// Corrupt a minority of frames with a different payload: the
+	// majority must still win.
+	cfg := DefaultConfig()
+	v := mustVideo(t, 4, 9)
+	honest := payloadFromSeed(73)
+	attacker := payloadFromSeed(74)
+	wm, err := EmbedVideo(v, honest, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // re-mark 3 of 9 frames
+		re, err := Embed(wm.Frames[i], attacker, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm.Frames[i] = re
+	}
+	res, err := ExtractVideo(wm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload != honest {
+		t.Errorf("minority corruption won the vote")
+	}
+	if res.FramesAgreeing != 6 {
+		t.Errorf("agreement %d, want 6", res.FramesAgreeing)
+	}
+}

@@ -1,0 +1,366 @@
+// Package watermark embeds the IRS claim identifier into photo pixels.
+//
+// The paper's label has two halves: explicit metadata and "a watermark
+// that encodes the metadata into the pixel data itself while causing
+// little or no perceptible distortion", robust "to many benign picture
+// manipulations (e.g., compression, cropping, tinting)" (§3.2, citing
+// DWT/DCT-domain schemes [2, 6, 18, 24]).
+//
+// Scheme implemented here:
+//
+//   - The 128-bit payload (an ids.PhotoID) is extended with a CRC-32 to
+//     a 160-bit codeword.
+//   - The codeword is laid out on a TileW×TileH grid of 8×8 luma blocks
+//     (16×10 = 160 slots) and tiled periodically across the image, so
+//     every region of at least TileW·8 × TileH·8 pixels carries a full
+//     copy and overlapping copies vote.
+//   - Each block carries one bit by quantization index modulation (QIM)
+//     of one mid-band DCT coefficient: the coefficient is moved to the
+//     nearest point of a lattice with step 2Δ whose phase (0 or Δ)
+//     encodes the bit. Mid-band coefficients are naturally small, so the
+//     distortion stays below visibility (~40 dB PSNR) and amplitude
+//     scaling from tinting stays below the Δ/2 decision margin.
+//   - Extraction searches all 64 pixel phases (crops misalign the 8×8
+//     grid) and all 160 codeword phases (crops remove whole block rows/
+//     columns), soft-combining votes across tiles and accepting the
+//     candidate with a valid CRC and the best margin.
+//
+// JPEG-like requantization survives because the embedding step 2Δ is
+// chosen well above the Annex-K quantization step for the carrier
+// coefficient at the qualities in the benign suite. Geometric rescaling
+// is *not* survivable by design — the paper itself relegates heavily
+// modified content to the appeals process (Nongoal #3), and E6 reports
+// this boundary honestly.
+package watermark
+
+import (
+	"errors"
+	"hash/crc32"
+	"math"
+
+	"irs/internal/dct"
+	"irs/internal/photo"
+)
+
+// Config parameterizes the embedder. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// Delta is the QIM half-step: lattice step is 2*Delta. Larger is more
+	// robust and more visible.
+	Delta float64
+	// CoefU, CoefV select the carrier coefficient (row, column) in the
+	// 8×8 DCT block. Must be a mid-band position, not (0,0).
+	CoefU, CoefV int
+	// TileW, TileH are the codeword layout dimensions in blocks; their
+	// product must equal PayloadBits + 32.
+	TileW, TileH int
+}
+
+// PayloadBytes is the payload size: a 16-byte photo identifier.
+const PayloadBytes = 16
+
+// PayloadBits is the payload size in bits.
+const PayloadBits = PayloadBytes * 8
+
+// codewordBits is payload plus CRC-32.
+const codewordBits = PayloadBits + 32
+
+// DefaultConfig returns the tuned production configuration.
+func DefaultConfig() Config {
+	return Config{Delta: 24, CoefU: 3, CoefV: 2, TileW: 16, TileH: 10}
+}
+
+// MinWidth and MinHeight report the smallest image the default config can
+// label with at least one full codeword tile.
+func (c Config) MinWidth() int  { return c.TileW * 8 }
+func (c Config) MinHeight() int { return c.TileH * 8 }
+
+func (c Config) validate() error {
+	if c.Delta <= 0 {
+		return errors.New("watermark: Delta must be positive")
+	}
+	if c.CoefU <= 0 && c.CoefV <= 0 {
+		return errors.New("watermark: carrier must not be the DC coefficient")
+	}
+	if c.CoefU < 0 || c.CoefU > 7 || c.CoefV < 0 || c.CoefV > 7 {
+		return errors.New("watermark: carrier coefficient outside 8x8 block")
+	}
+	if c.TileW*c.TileH != codewordBits {
+		return errors.New("watermark: TileW*TileH must equal 160")
+	}
+	return nil
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// codeword expands a payload to its 160 coded bits.
+func codeword(payload [PayloadBytes]byte) [codewordBits]bool {
+	var bits [codewordBits]bool
+	crc := crc32.Checksum(payload[:], castagnoli)
+	buf := make([]byte, 0, 20)
+	buf = append(buf, payload[:]...)
+	buf = append(buf, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+	for i := 0; i < codewordBits; i++ {
+		bits[i] = buf[i/8]>>(7-uint(i%8))&1 == 1
+	}
+	return bits
+}
+
+// decodeword checks the CRC of 160 hard bits and returns the payload.
+func decodeword(bits []bool) ([PayloadBytes]byte, bool) {
+	var buf [20]byte
+	for i, b := range bits {
+		if b {
+			buf[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	var payload [PayloadBytes]byte
+	copy(payload[:], buf[:16])
+	want := uint32(buf[16])<<24 | uint32(buf[17])<<16 | uint32(buf[18])<<8 | uint32(buf[19])
+	return payload, crc32.Checksum(payload[:], castagnoli) == want
+}
+
+// ErrTooSmall is returned when the image cannot hold one codeword tile.
+var ErrTooSmall = errors.New("watermark: image smaller than one codeword tile")
+
+// Embed writes payload into a copy of im and returns it. The input image
+// is not modified. Metadata is carried over unchanged — Embed labels
+// pixels, not metadata.
+func Embed(im *photo.Image, payload [PayloadBytes]byte, cfg Config) (*photo.Image, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if im.W < cfg.MinWidth() || im.H < cfg.MinHeight() {
+		return nil, ErrTooSmall
+	}
+	bits := codeword(payload)
+	out := im.Clone()
+	luma := im.Luma()
+	src := dct.NewBlock(8)
+	coef := dct.NewBlock(8)
+	bw, bh := im.W/8, im.H/8
+	ci := cfg.CoefU*8 + cfg.CoefV
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			loadBlock(src, luma, im.W, bx*8, by*8)
+			dct.Forward2D(coef, src)
+			bit := bits[(by%cfg.TileH)*cfg.TileW+bx%cfg.TileW]
+			coef.Data[ci] = qimQuantize(coef.Data[ci], cfg.Delta, bit)
+			dct.Inverse2D(src, coef)
+			storeBlock(luma, im.W, bx*8, by*8, src)
+		}
+	}
+	out.SetLuma(luma)
+	return out, nil
+}
+
+// qimQuantize moves c to the nearest lattice point of step 2Δ with phase
+// bit·Δ.
+func qimQuantize(c, delta float64, bit bool) float64 {
+	off := 0.0
+	if bit {
+		off = delta
+	}
+	return math.Round((c-off)/(2*delta))*2*delta + off
+}
+
+// qimSoft returns a signed soft decision for coefficient c: negative
+// favors bit 0, positive favors bit 1, magnitude is confidence in [0, 1].
+func qimSoft(c, delta float64) float64 {
+	// Distance to nearest even lattice point (bit 0) and odd (bit 1).
+	d0 := math.Abs(c - math.Round(c/(2*delta))*2*delta)
+	d1 := math.Abs(c - (math.Round((c-delta)/(2*delta))*2*delta + delta))
+	return (d0 - d1) / delta
+}
+
+func loadBlock(dst *dct.Block, luma []float64, w, x0, y0 int) {
+	for r := 0; r < 8; r++ {
+		copy(dst.Data[r*8:(r+1)*8], luma[(y0+r)*w+x0:(y0+r)*w+x0+8])
+	}
+}
+
+func storeBlock(luma []float64, w, x0, y0 int, src *dct.Block) {
+	for r := 0; r < 8; r++ {
+		copy(luma[(y0+r)*w+x0:(y0+r)*w+x0+8], src.Data[r*8:(r+1)*8])
+	}
+}
+
+// Result reports a successful extraction.
+type Result struct {
+	Payload [PayloadBytes]byte
+	// Margin is the mean soft-decision confidence of the accepted
+	// candidate, in (0, 1]. Higher means a cleaner read.
+	Margin float64
+	// PixelPhase and CodewordPhase record the alignment at which the
+	// codeword was found; useful for diagnostics.
+	PixelPhaseX, PixelPhaseY int
+	CodePhaseX, CodePhaseY   int
+}
+
+// ErrNotFound is returned when no candidate alignment yields a valid
+// codeword.
+var ErrNotFound = errors.New("watermark: no watermark found")
+
+// Extract searches the image for an embedded payload across all pixel and
+// codeword phases, returning the best CRC-valid candidate.
+func Extract(im *photo.Image, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	luma := im.Luma()
+	src := dct.NewBlock(8)
+	coef := dct.NewBlock(8)
+	ci := cfg.CoefU*8 + cfg.CoefV
+	best := Result{Margin: -1}
+	found := false
+
+	votes := make([]float64, codewordBits)
+	counts := make([]int, codewordBits)
+	hard := make([]bool, codewordBits)
+
+	for py := 0; py < 8; py++ {
+		bh := (im.H - py) / 8
+		if bh < 1 {
+			continue
+		}
+		for px := 0; px < 8; px++ {
+			bw := (im.W - px) / 8
+			if bw < 1 {
+				continue
+			}
+			// Soft values per block for this pixel phase.
+			soft := make([]float64, bw*bh)
+			for by := 0; by < bh; by++ {
+				for bx := 0; bx < bw; bx++ {
+					loadBlock(src, luma, im.W, px+bx*8, py+by*8)
+					dct.Forward2D(coef, src)
+					soft[by*bw+bx] = qimSoft(coef.Data[ci], cfg.Delta)
+				}
+			}
+			// Aggregate votes for each codeword phase.
+			for cy := 0; cy < cfg.TileH; cy++ {
+				for cx := 0; cx < cfg.TileW; cx++ {
+					for i := range votes {
+						votes[i] = 0
+						counts[i] = 0
+					}
+					for by := 0; by < bh; by++ {
+						row := ((by + cy) % cfg.TileH) * cfg.TileW
+						for bx := 0; bx < bw; bx++ {
+							idx := row + (bx+cx)%cfg.TileW
+							votes[idx] += soft[by*bw+bx]
+							counts[idx]++
+						}
+					}
+					covered := true
+					var margin float64
+					for i := range votes {
+						if counts[i] == 0 {
+							covered = false
+							break
+						}
+						hard[i] = votes[i] > 0
+						m := votes[i] / float64(counts[i])
+						if m < 0 {
+							m = -m
+						}
+						margin += m
+					}
+					if !covered {
+						continue
+					}
+					margin /= codewordBits
+					payload, ok := decodeword(hard)
+					if ok && margin > best.Margin {
+						best = Result{
+							Payload:     payload,
+							Margin:      margin,
+							PixelPhaseX: px, PixelPhaseY: py,
+							CodePhaseX: cx, CodePhaseY: cy,
+						}
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		return Result{}, ErrNotFound
+	}
+	return best, nil
+}
+
+// ExtractAligned is the fast path for images known to be grid-aligned and
+// uncropped (e.g. straight from Embed, or after transcoding without
+// geometry changes): it checks only the zero pixel/codeword phase and
+// falls back to nothing else.
+func ExtractAligned(im *photo.Image, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	luma := im.Luma()
+	src := dct.NewBlock(8)
+	coef := dct.NewBlock(8)
+	ci := cfg.CoefU*8 + cfg.CoefV
+	votes := make([]float64, codewordBits)
+	counts := make([]int, codewordBits)
+	bw, bh := im.W/8, im.H/8
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			loadBlock(src, luma, im.W, bx*8, by*8)
+			dct.Forward2D(coef, src)
+			idx := (by%cfg.TileH)*cfg.TileW + bx%cfg.TileW
+			votes[idx] += qimSoft(coef.Data[ci], cfg.Delta)
+			counts[idx]++
+		}
+	}
+	hard := make([]bool, codewordBits)
+	var margin float64
+	for i := range votes {
+		if counts[i] == 0 {
+			return Result{}, ErrTooSmall
+		}
+		hard[i] = votes[i] > 0
+		m := votes[i] / float64(counts[i])
+		if m < 0 {
+			m = -m
+		}
+		margin += m
+	}
+	payload, ok := decodeword(hard)
+	if !ok {
+		return Result{}, ErrNotFound
+	}
+	return Result{Payload: payload, Margin: margin / codewordBits}, nil
+}
+
+// Erase overwrites the carrier coefficient of every block with a
+// re-quantized random-phase value, destroying any embedded codeword while
+// leaving the image visually unchanged. This models the sophisticated
+// attacker of §5 who erases the old watermark before re-claiming; tests
+// use it to verify that erasure defeats extraction (and that the appeals
+// process still catches the copy).
+func Erase(im *photo.Image, cfg Config, seed int64) (*photo.Image, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := im.Clone()
+	luma := im.Luma()
+	src := dct.NewBlock(8)
+	coef := dct.NewBlock(8)
+	ci := cfg.CoefU*8 + cfg.CoefV
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	bw, bh := im.W/8, im.H/8
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			loadBlock(src, luma, im.W, bx*8, by*8)
+			dct.Forward2D(coef, src)
+			state = state*6364136223846793005 + 1442695040888963407
+			coef.Data[ci] = qimQuantize(coef.Data[ci], cfg.Delta, state>>63 == 1)
+			dct.Inverse2D(src, coef)
+			storeBlock(luma, im.W, bx*8, by*8, src)
+		}
+	}
+	out.SetLuma(luma)
+	return out, nil
+}

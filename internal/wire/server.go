@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"crypto/subtle"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"irs/internal/ids"
+	"irs/internal/ledger"
+)
+
+// Server adapts a ledger.Ledger to the HTTP protocol. Construct with
+// NewServer and mount it anywhere an http.Handler goes.
+type Server struct {
+	ledger *ledger.Ledger
+	// adminToken guards the permanent-revoke endpoint. Empty disables
+	// the endpoint entirely.
+	adminToken string
+	mux        *http.ServeMux
+}
+
+// NewServer wraps l. adminToken authorizes the appeals process's
+// permanent revocations; pass "" to disable the admin surface.
+func NewServer(l *ledger.Ledger, adminToken string) *Server {
+	s := &Server{ledger: l, adminToken: adminToken, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/claim", s.handleClaim)
+	s.mux.HandleFunc("POST /v1/op", s.handleOp)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/seq", s.handleSeq)
+	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
+	s.mux.HandleFunc("GET /v1/filter", s.handleFilter)
+	s.mux.HandleFunc("GET /v1/filter/delta", s.handleFilterDelta)
+	s.mux.HandleFunc("POST /v1/admin/permanent-revoke", s.handleAdminRevoke)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if err := ReadJSON(r.Body, &req); err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.ContentHash) != 32 {
+		WriteError(w, http.StatusBadRequest, "content hash must be 32 bytes")
+		return
+	}
+	var hash [32]byte
+	copy(hash[:], req.ContentHash)
+	var receipt ledger.Receipt
+	var err error
+	if req.Custodial {
+		receipt, err = s.ledger.CustodialClaim(hash, req.PubKey, req.HashSig)
+	} else {
+		receipt, err = s.ledger.Claim(hash, req.PubKey, req.HashSig, req.RevokedAtBirth)
+	}
+	if err != nil {
+		WriteError(w, statusFor(err), err.Error())
+		return
+	}
+	WriteJSON(w, http.StatusOK, &ClaimResponse{
+		ID:        receipt.ID.String(),
+		Timestamp: receipt.Timestamp.Marshal(),
+	})
+}
+
+func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
+	var req OpRequest
+	if err := ReadJSON(r.Body, &req); err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id, err := ids.Parse(req.ID)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	op := ledger.Op(req.Op)
+	if op != ledger.OpRevoke && op != ledger.OpUnrevoke {
+		WriteError(w, http.StatusBadRequest, "op must be 1 (revoke) or 2 (unrevoke)")
+		return
+	}
+	if err := s.ledger.Apply(id, op, req.Sig); err != nil {
+		WriteError(w, statusFor(err), err.Error())
+		return
+	}
+	WriteJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := ids.Parse(r.URL.Query().Get("id"))
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	proof, err := s.ledger.Status(id)
+	if err != nil {
+		WriteError(w, statusFor(err), err.Error())
+		return
+	}
+	WriteJSON(w, http.StatusOK, &StatusResponse{
+		State: proof.State.String(),
+		Proof: proof.Marshal(),
+	})
+}
+
+func (s *Server) handleSeq(w http.ResponseWriter, r *http.Request) {
+	id, err := ids.Parse(r.URL.Query().Get("id"))
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rec, err := s.ledger.Record(id)
+	if err != nil {
+		WriteError(w, statusFor(err), err.Error())
+		return
+	}
+	WriteJSON(w, http.StatusOK, &SeqQueryResponse{Seq: rec.OpSeq, State: rec.State.String()})
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, &KeysResponse{
+		LedgerID:     uint32(s.ledger.ID()),
+		SigningKey:   s.ledger.SigningKey(),
+		TimestampKey: s.ledger.TimestampKey(),
+	})
+}
+
+func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
+	seq, f, err := s.ledger.FilterSnapshot()
+	if err != nil {
+		WriteError(w, statusFor(err), err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-IRS-Epoch", strconv.FormatUint(seq, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(f.Marshal())
+}
+
+func (s *Server) handleFilterDelta(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "from must be an epoch number")
+		return
+	}
+	delta, latest, err := s.ledger.FilterDelta(from)
+	if err != nil {
+		WriteError(w, statusFor(err), err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-IRS-Epoch", strconv.FormatUint(latest, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(delta)
+}
+
+func (s *Server) handleAdminRevoke(w http.ResponseWriter, r *http.Request) {
+	if s.adminToken == "" {
+		WriteError(w, http.StatusForbidden, "admin surface disabled")
+		return
+	}
+	auth := r.Header.Get("Authorization")
+	want := "Bearer " + s.adminToken
+	if subtle.ConstantTimeCompare([]byte(auth), []byte(want)) != 1 {
+		WriteError(w, http.StatusUnauthorized, "bad admin token")
+		return
+	}
+	var req AdminRevokeRequest
+	if err := ReadJSON(r.Body, &req); err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id, err := ids.Parse(req.ID)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.ledger.PermanentRevoke(id); err != nil {
+		WriteError(w, statusFor(err), err.Error())
+		return
+	}
+	WriteJSON(w, http.StatusOK, struct{}{})
+}
+
+// statusFor maps ledger errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ledger.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ledger.ErrBadSignature), errors.Is(err, ledger.ErrBadOpSeq):
+		return http.StatusForbidden
+	case errors.Is(err, ledger.ErrNonRevocable), errors.Is(err, ledger.ErrPermanent):
+		return http.StatusConflict
+	case errors.Is(err, ledger.ErrNoSnapshot), errors.Is(err, ledger.ErrSnapshotGone),
+		errors.Is(err, ledger.ErrSnapshotAhead):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}

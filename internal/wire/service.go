@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"fmt"
+
+	"irs/internal/bloom"
+	"irs/internal/ids"
+	"irs/internal/ledger"
+)
+
+// Service is the ledger surface consumed by owners (camera software),
+// aggregators, proxies, and the appeals process. Two implementations
+// exist: Client (HTTP, the deployed form) and Loopback (direct in-process
+// calls, used by experiments so that million-operation sweeps don't pay
+// loopback-TCP costs they aren't measuring).
+type Service interface {
+	Claim(req *ClaimRequest) (ledger.Receipt, error)
+	Apply(id ids.PhotoID, op ledger.Op, seq uint64, sig []byte) error
+	Seq(id ids.PhotoID) (uint64, error)
+	Status(id ids.PhotoID) (*ledger.StatusProof, error)
+	Keys() (*KeysResponse, error)
+	Filter() (epoch uint64, f *bloom.Filter, err error)
+	FilterDelta(from uint64) (delta []byte, latest uint64, err error)
+	PermanentRevoke(id ids.PhotoID) error
+}
+
+var (
+	_ Service = (*Client)(nil)
+	_ Service = (*Loopback)(nil)
+)
+
+// Loopback adapts a *ledger.Ledger to the Service interface without a
+// network.
+type Loopback struct {
+	L *ledger.Ledger
+}
+
+// Claim implements Service.
+func (lb *Loopback) Claim(req *ClaimRequest) (ledger.Receipt, error) {
+	if len(req.ContentHash) != 32 {
+		return ledger.Receipt{}, fmt.Errorf("wire: content hash must be 32 bytes")
+	}
+	var hash [32]byte
+	copy(hash[:], req.ContentHash)
+	if req.Custodial {
+		return lb.L.CustodialClaim(hash, req.PubKey, req.HashSig)
+	}
+	return lb.L.Claim(hash, req.PubKey, req.HashSig, req.RevokedAtBirth)
+}
+
+// Apply implements Service.
+func (lb *Loopback) Apply(id ids.PhotoID, op ledger.Op, seq uint64, sig []byte) error {
+	return lb.L.Apply(id, op, sig)
+}
+
+// Seq implements Service.
+func (lb *Loopback) Seq(id ids.PhotoID) (uint64, error) {
+	rec, err := lb.L.Record(id)
+	if err != nil {
+		return 0, err
+	}
+	return rec.OpSeq, nil
+}
+
+// Status implements Service.
+func (lb *Loopback) Status(id ids.PhotoID) (*ledger.StatusProof, error) {
+	return lb.L.Status(id)
+}
+
+// Keys implements Service.
+func (lb *Loopback) Keys() (*KeysResponse, error) {
+	return &KeysResponse{
+		LedgerID:     uint32(lb.L.ID()),
+		SigningKey:   lb.L.SigningKey(),
+		TimestampKey: lb.L.TimestampKey(),
+	}, nil
+}
+
+// Filter implements Service.
+func (lb *Loopback) Filter() (uint64, *bloom.Filter, error) {
+	return lb.L.FilterSnapshot()
+}
+
+// FilterDelta implements Service.
+func (lb *Loopback) FilterDelta(from uint64) ([]byte, uint64, error) {
+	return lb.L.FilterDelta(from)
+}
+
+// PermanentRevoke implements Service. The loopback caller is in-process
+// and therefore trusted the way the admin token would establish over
+// HTTP.
+func (lb *Loopback) PermanentRevoke(id ids.PhotoID) error {
+	return lb.L.PermanentRevoke(id)
+}

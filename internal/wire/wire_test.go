@@ -1,0 +1,317 @@
+package wire
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"irs/internal/bloom"
+	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/tsa"
+)
+
+type testEnv struct {
+	ledger *ledger.Ledger
+	server *httptest.Server
+	client *Client
+}
+
+func newEnv(t *testing.T, cfg ledger.Config, adminToken string) *testEnv {
+	t.Helper()
+	if cfg.ID == 0 {
+		cfg.ID = 7
+	}
+	l, err := ledger.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(l, adminToken))
+	t.Cleanup(func() {
+		srv.Close()
+		l.Close()
+	})
+	return &testEnv{ledger: l, server: srv, client: NewClient(srv.URL, adminToken)}
+}
+
+type keypair struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+func newKeypair(t testing.TB) keypair {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keypair{pub, priv}
+}
+
+func (k keypair) claimVia(t *testing.T, c *Client, content string, revoked bool) ledger.Receipt {
+	t.Helper()
+	h := sha256.Sum256([]byte(content))
+	r, err := c.Claim(&ClaimRequest{
+		ContentHash:    h[:],
+		PubKey:         k.pub,
+		HashSig:        ed25519.Sign(k.priv, ledger.ClaimMsg(h)),
+		RevokedAtBirth: revoked,
+	})
+	if err != nil {
+		t.Fatalf("claim over http: %v", err)
+	}
+	return r
+}
+
+func TestClaimStatusOverHTTP(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	k := newKeypair(t)
+	r := k.claimVia(t, env.client, "wire photo", false)
+	if r.ID.Ledger != 7 {
+		t.Errorf("ledger id %d", r.ID.Ledger)
+	}
+
+	keys, err := env.client.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timestamp token must verify against the published TSA key and
+	// cover the photo's content hash (the ledger stamps the hash itself).
+	h := sha256.Sum256([]byte("wire photo"))
+	if err := tsa.Verify(keys.TimestampKey, r.Timestamp); err != nil {
+		t.Errorf("timestamp token: %v", err)
+	}
+	if r.Timestamp.Digest != h {
+		t.Error("timestamp token digest is not the content hash")
+	}
+
+	proof, err := env.client.Status(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.State != ledger.StateActive {
+		t.Errorf("state %v", proof.State)
+	}
+	if err := ledger.VerifyProof(keys.SigningKey, proof, time.Now(), time.Minute); err != nil {
+		t.Errorf("proof verify: %v", err)
+	}
+}
+
+func TestRevokeOverHTTP(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	k := newKeypair(t)
+	r := k.claimVia(t, env.client, "to revoke", false)
+
+	seq, err := env.client.Seq(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 0 {
+		t.Errorf("initial seq %d", seq)
+	}
+	sig := ed25519.Sign(k.priv, ledger.OpMsg(r.ID, ledger.OpRevoke, seq+1))
+	if err := env.client.Apply(r.ID, ledger.OpRevoke, seq+1, sig); err != nil {
+		t.Fatal(err)
+	}
+	proof, err := env.client.Status(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.State != ledger.StateRevoked {
+		t.Errorf("state %v after revoke", proof.State)
+	}
+	if proof.Displayable() {
+		t.Error("revoked photo displayable")
+	}
+}
+
+func TestWrongKeyRejectedOverHTTP(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	k := newKeypair(t)
+	attacker := newKeypair(t)
+	r := k.claimVia(t, env.client, "guarded", false)
+	sig := ed25519.Sign(attacker.priv, ledger.OpMsg(r.ID, ledger.OpRevoke, 1))
+	err := env.client.Apply(r.ID, ledger.OpRevoke, 1, sig)
+	if ErrStatus(err) != http.StatusForbidden {
+		t.Errorf("got %v (status %d), want 403", err, ErrStatus(err))
+	}
+}
+
+func TestStatusUnknownID(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	id, err := ids.New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := env.client.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.State != ledger.StateUnknown {
+		t.Errorf("state %v", proof.State)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	for _, tc := range []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"bad id", http.MethodGet, "/v1/status?id=notanid", "", http.StatusBadRequest},
+		{"missing id", http.MethodGet, "/v1/status", "", http.StatusBadRequest},
+		{"junk claim", http.MethodPost, "/v1/claim", "{", http.StatusBadRequest},
+		{"short hash", http.MethodPost, "/v1/claim", `{"hash":"aGk=","pub":"","sig":""}`, http.StatusBadRequest},
+		{"bad op value", http.MethodPost, "/v1/op", `{"id":"x","op":9,"seq":1,"sig":""}`, http.StatusBadRequest},
+		{"unknown fields", http.MethodPost, "/v1/op", `{"bogus":true}`, http.StatusBadRequest},
+		{"delta no from", http.MethodGet, "/v1/filter/delta", "", http.StatusBadRequest},
+	} {
+		req, err := http.NewRequest(tc.method, env.server.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestFilterOverHTTP(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	k := newKeypair(t)
+	// No snapshot yet.
+	if _, _, err := env.client.Filter(); ErrStatus(err) != http.StatusNotFound {
+		t.Errorf("pre-snapshot filter fetch: %v", err)
+	}
+	r := k.claimVia(t, env.client, "filtered", true) // revoked at birth
+	if _, err := env.ledger.BuildSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	epoch, f, err := env.client.Filter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Errorf("epoch %d", epoch)
+	}
+	if !f.Test(ledger.FilterKey(r.ID)) {
+		t.Error("revoked id missing from downloaded filter")
+	}
+
+	// Revoke another and fetch a delta.
+	k2 := newKeypair(t)
+	r2 := k2.claimVia(t, env.client, "filtered2", true)
+	if _, err := env.ledger.BuildSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	delta, latest, err := env.client.FilterDelta(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != 2 {
+		t.Errorf("latest %d", latest)
+	}
+	if err := bloom.Apply(f, delta); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Test(ledger.FilterKey(r2.ID)) {
+		t.Error("delta did not carry the new revocation")
+	}
+}
+
+func TestAdminRevoke(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "sekrit")
+	k := newKeypair(t)
+	r := k.claimVia(t, env.client, "contested", false)
+
+	// Wrong token.
+	bad := NewClient(env.server.URL, "wrong")
+	if err := bad.PermanentRevoke(r.ID); ErrStatus(err) != http.StatusUnauthorized {
+		t.Errorf("wrong token: %v", err)
+	}
+	// Correct token.
+	if err := env.client.PermanentRevoke(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	proof, err := env.client.Status(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.State != ledger.StatePermanentlyRevoked {
+		t.Errorf("state %v", proof.State)
+	}
+}
+
+func TestAdminDisabled(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	k := newKeypair(t)
+	r := k.claimVia(t, env.client, "x", false)
+	c := NewClient(env.server.URL, "anything")
+	if err := c.PermanentRevoke(r.ID); ErrStatus(err) != http.StatusForbidden {
+		t.Errorf("disabled admin: %v", err)
+	}
+}
+
+func TestDirectoryRouting(t *testing.T) {
+	envA := newEnv(t, ledger.Config{ID: 10}, "")
+	envB := newEnv(t, ledger.Config{ID: 20}, "")
+	d := NewDirectory()
+	d.Register(10, envA.client)
+	d.Register(20, envB.client)
+
+	k := newKeypair(t)
+	rA := k.claimVia(t, envA.client, "on A", false)
+	rB := k.claimVia(t, envB.client, "on B", true)
+
+	cA, err := d.For(rA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pA, err := cA.Status(rA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pA.State != ledger.StateActive {
+		t.Errorf("A state %v", pA.State)
+	}
+	cB, err := d.For(rB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := cB.Status(rB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pB.State != ledger.StateRevoked {
+		t.Errorf("B state %v", pB.State)
+	}
+	unknown, err := ids.New(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.For(unknown); err == nil {
+		t.Error("unregistered ledger routed")
+	}
+	if len(d.All()) != 2 {
+		t.Errorf("All() = %d entries", len(d.All()))
+	}
+}
+
+func TestErrStatusNonWireError(t *testing.T) {
+	if ErrStatus(nil) != 0 {
+		t.Error("nil should map to 0")
+	}
+	if ErrStatus(http.ErrServerClosed) != 0 {
+		t.Error("non-wire error should map to 0")
+	}
+}
