@@ -6,10 +6,14 @@
 //
 //	irs-bench -run all -scale full            # everything, full workloads
 //	irs-bench -run e2,e4 -scale quick -seed 7 # a subset, fast
+//	irs-bench -workers 8                      # pin the worker pool width
+//	irs-bench -parallel-out BENCH_parallel.json -run e1,e5,e6
+//	                                          # serial-vs-parallel timings
 //	irs-bench -list                           # enumerate experiments
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,14 +21,31 @@ import (
 	"time"
 
 	"irs/internal/expt"
+	"irs/internal/parallel"
 )
+
+// parallelTiming is one row of the -parallel-out report: the same
+// experiment timed at workers=1 and at the configured pool width, with
+// a byte-compare of the rendered tables as a determinism check.
+type parallelTiming struct {
+	Experiment    string  `json:"experiment"`
+	Scale         string  `json:"scale"`
+	Seed          int64   `json:"seed"`
+	Workers       int     `json:"workers"`
+	SerialMs      float64 `json:"serial_ms"`
+	ParallelMs    float64 `json:"parallel_ms"`
+	Speedup       float64 `json:"speedup"`
+	OutputMatches bool    `json:"output_matches"`
+}
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		scale = flag.String("scale", "full", "workload scale: quick or full")
-		seed  = flag.Int64("seed", 42, "random seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.String("scale", "full", "workload scale: quick or full")
+		seed    = flag.Int64("seed", 42, "random seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", 0, "worker pool width (0 = IRS_WORKERS env or GOMAXPROCS)")
+		parOut  = flag.String("parallel-out", "", "write serial-vs-parallel timings to this JSON file")
 	)
 	flag.Parse()
 
@@ -33,6 +54,9 @@ func main() {
 			fmt.Println(e.ID)
 		}
 		return
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
 	}
 	var sc expt.Scale
 	switch *scale {
@@ -55,12 +79,26 @@ func main() {
 	}
 
 	failed := false
+	var timings []parallelTiming
 	for _, id := range selected {
 		id = strings.TrimSpace(id)
 		runner, ok := expt.Get(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "irs-bench: unknown experiment %q (use -list)\n", id)
 			failed = true
+			continue
+		}
+		if *parOut != "" {
+			t, err := timeSerialVsParallel(id, runner, sc, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "irs-bench: %s: %v\n", id, err)
+				failed = true
+				continue
+			}
+			t.Scale = *scale
+			timings = append(timings, t)
+			fmt.Printf("%s: serial %.0fms, parallel %.0fms (%d workers, %.2fx, identical=%v)\n",
+				t.Experiment, t.SerialMs, t.ParallelMs, t.Workers, t.Speedup, t.OutputMatches)
 			continue
 		}
 		start := time.Now()
@@ -73,7 +111,55 @@ func main() {
 		report.Fprint(os.Stdout)
 		fmt.Printf("(%s ran in %s at scale=%s seed=%d)\n\n", id, time.Since(start).Round(time.Millisecond), *scale, *seed)
 	}
+	if *parOut != "" && len(timings) > 0 {
+		data, err := json.MarshalIndent(timings, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*parOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "irs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *parOut)
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// timeSerialVsParallel runs one experiment at workers=1 and at the
+// configured pool width, returning wall-clock for both plus whether the
+// rendered reports are byte-identical (the pool's core contract).
+func timeSerialVsParallel(id string, runner expt.Runner, sc expt.Scale, seed int64) (parallelTiming, error) {
+	render := func(w int) (string, time.Duration, error) {
+		prev := parallel.SetWorkers(w)
+		defer parallel.SetWorkers(prev)
+		start := time.Now()
+		r, err := runner(sc, seed)
+		if err != nil {
+			return "", 0, err
+		}
+		var sb strings.Builder
+		r.Fprint(&sb)
+		return sb.String(), time.Since(start), nil
+	}
+	serialOut, serialDur, err := render(1)
+	if err != nil {
+		return parallelTiming{}, err
+	}
+	w := parallel.Workers()
+	parOut, parDur, err := render(w)
+	if err != nil {
+		return parallelTiming{}, err
+	}
+	return parallelTiming{
+		Experiment:    id,
+		Seed:          seed,
+		Workers:       w,
+		SerialMs:      float64(serialDur.Microseconds()) / 1000,
+		ParallelMs:    float64(parDur.Microseconds()) / 1000,
+		Speedup:       float64(serialDur) / float64(parDur),
+		OutputMatches: parOut == serialOut,
+	}, nil
 }

@@ -32,6 +32,7 @@ import (
 	"irs/internal/camera"
 	"irs/internal/ids"
 	"irs/internal/ledger"
+	"irs/internal/parallel"
 	"irs/internal/phash"
 	"irs/internal/photo"
 	"irs/internal/provenance"
@@ -372,12 +373,39 @@ func (a *Aggregator) host(id ids.PhotoID, im *photo.Image, proof *ledger.StatusP
 	a.hashDB = append(a.hashDB, hashEntry{sig: sig, id: id})
 }
 
+// lookupHashChunk is the hash-DB scan granularity. Like every chunk
+// size feeding internal/parallel, it is a constant so chunk boundaries
+// never depend on the worker count.
+const lookupHashChunk = 512
+
 func (a *Aggregator) lookupHash(sig phash.Signature) (ids.PhotoID, bool) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	for _, e := range a.hashDB {
-		if e.sig.Matches(sig) {
-			return e.id, true
+	n := len(a.hashDB)
+	if n < 2*lookupHashChunk || parallel.Workers() == 1 {
+		for _, e := range a.hashDB {
+			if e.sig.Matches(sig) {
+				return e.id, true
+			}
+		}
+		return ids.PhotoID{}, false
+	}
+	// Parallel scan with serial first-match semantics: insertion order
+	// decides which hosted photo a derivative resolves to, so each chunk
+	// records its earliest hit and the reduce takes the lowest index.
+	firstHit := make([]int, (n+lookupHashChunk-1)/lookupHashChunk)
+	parallel.ForChunks(n, lookupHashChunk, func(c, lo, hi int) {
+		firstHit[c] = -1
+		for i := lo; i < hi; i++ {
+			if a.hashDB[i].sig.Matches(sig) {
+				firstHit[c] = i
+				return
+			}
+		}
+	})
+	for _, idx := range firstHit {
+		if idx >= 0 {
+			return a.hashDB[idx].id, true
 		}
 	}
 	return ids.PhotoID{}, false

@@ -1,0 +1,50 @@
+package aggregator
+
+import (
+	"testing"
+
+	"irs/internal/ids"
+	"irs/internal/parallel"
+	"irs/internal/phash"
+)
+
+// TestLookupHashFirstMatchAcrossWorkers pins the derivative-defense
+// scan's serial semantics: when several hosted photos match an uploaded
+// signature, the earliest-hosted one wins, at any worker count. The DB
+// is built large enough to cross the parallel-scan threshold and holds
+// two matching entries; every worker count must resolve to the first.
+func TestLookupHashFirstMatchAcrossWorkers(t *testing.T) {
+	const n = 4 * lookupHashChunk
+	const firstMatch, secondMatch = lookupHashChunk + 7, 3*lookupHashChunk + 1
+	probe := phash.Signature{} // all-zero hashes
+	far := phash.Signature{A: ^phash.Hash(0), D: ^phash.Hash(0), P: ^phash.Hash(0)}
+
+	a := &Aggregator{}
+	for i := 0; i < n; i++ {
+		e := hashEntry{sig: far, id: ids.PhotoID{Ledger: ids.LedgerID(i)}}
+		if i == firstMatch || i == secondMatch {
+			e.sig = probe
+		}
+		a.hashDB = append(a.hashDB, e)
+	}
+
+	for _, w := range []int{1, 2, 8} {
+		prev := parallel.SetWorkers(w)
+		id, ok := a.lookupHash(probe)
+		parallel.SetWorkers(prev)
+		if !ok {
+			t.Fatalf("workers=%d: no match found", w)
+		}
+		if id.Ledger != firstMatch {
+			t.Errorf("workers=%d: matched entry %d, want first match %d", w, id.Ledger, firstMatch)
+		}
+	}
+
+	// Equidistant (32 bits) from both populations: no 2-of-3 vote.
+	mid := phash.Hash(0xAAAAAAAAAAAAAAAA)
+	prev := parallel.SetWorkers(8)
+	if _, ok := a.lookupHash(phash.Signature{A: mid, D: mid, P: mid}); ok {
+		t.Error("matched a signature not in the DB")
+	}
+	parallel.SetWorkers(prev)
+}

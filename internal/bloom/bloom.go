@@ -31,6 +31,9 @@ import (
 	"hash/maphash"
 	"math"
 	"math/bits"
+	"sync/atomic"
+
+	"irs/internal/parallel"
 )
 
 // splitmix64 is the standard 64-bit finalizer used to derive independent
@@ -104,13 +107,88 @@ func (f *Filter) SizeBytes() uint64 { return f.m / 8 }
 
 // Add inserts a key.
 func (f *Filter) Add(key uint64) {
+	f.addNoCount(key)
+	f.n++
+}
+
+// addAllChunk is the per-task key batch for AddAll/TestAll. Fixed (not
+// derived from the worker count) so work splitting is deterministic;
+// large enough that goroutine handoff is noise next to the k hash
+// probes per key.
+const addAllChunk = 4096
+
+// AddAll inserts a batch of keys, sharding the work across the worker
+// pool for large batches. Workers set bits with atomic OR on the shared
+// word array, so the resulting filter is bit-identical to a serial Add
+// loop (OR is commutative) at any worker count — the property E1's
+// committed tables rely on. Small batches fall back to the serial loop.
+//
+// AddAll must not race with other mutations or with Test; it
+// parallelizes one logically-serial bulk insert (the §4.4 hourly
+// snapshot build), it does not make Filter concurrent.
+func (f *Filter) AddAll(keys []uint64) {
+	if len(keys) < 2*addAllChunk || parallel.Workers() == 1 {
+		for _, k := range keys {
+			f.addNoCount(k)
+		}
+		f.n += uint64(len(keys))
+		return
+	}
+	parallel.ForChunks(len(keys), addAllChunk, func(_, lo, hi int) {
+		for _, key := range keys[lo:hi] {
+			h1 := splitmix64(key)
+			h2 := splitmix64(key ^ 0xdeadbeefcafef00d)
+			for i := 0; i < f.k; i++ {
+				idx := (h1 + uint64(i)*h2) % f.m
+				atomic.OrUint64(&f.bits[idx/64], 1<<(idx%64))
+			}
+		}
+	})
+	f.n += uint64(len(keys))
+}
+
+func (f *Filter) addNoCount(key uint64) {
 	h1 := splitmix64(key)
 	h2 := splitmix64(key ^ 0xdeadbeefcafef00d)
 	for i := 0; i < f.k; i++ {
 		idx := (h1 + uint64(i)*h2) % f.m
 		f.bits[idx/64] |= 1 << (idx % 64)
 	}
-	f.n++
+}
+
+// TestAll probes a batch of keys across the worker pool, returning
+// per-key results in input order. The filter must not be mutated
+// concurrently.
+func (f *Filter) TestAll(keys []uint64) []bool {
+	out := make([]bool, len(keys))
+	parallel.ForChunks(len(keys), addAllChunk, func(_, lo, hi int) {
+		for i, key := range keys[lo:hi] {
+			out[lo+i] = f.Test(key)
+		}
+	})
+	return out
+}
+
+// CountHits returns how many keys of the batch the filter reports as
+// present — the probe loop of the filter-sizing experiments, with the
+// per-chunk tallies combined in chunk order.
+func (f *Filter) CountHits(keys []uint64) int {
+	chunks := (len(keys) + addAllChunk - 1) / addAllChunk
+	partial := make([]int, chunks)
+	parallel.ForChunks(len(keys), addAllChunk, func(c, lo, hi int) {
+		hits := 0
+		for _, key := range keys[lo:hi] {
+			if f.Test(key) {
+				hits++
+			}
+		}
+		partial[c] = hits
+	})
+	total := 0
+	for _, h := range partial {
+		total += h
+	}
+	return total
 }
 
 // Test reports whether key may be present. False positives occur at the

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+
+	"irs/internal/parallel"
 )
 
 // Xor8 is the xor filter of Graf & Lemire (ACM JEA 2020), one of the
@@ -59,8 +61,27 @@ func xorHashes(key, seed uint64, blockLength uint32) (h0, h1, h2 uint32) {
 // distinct keys is cryptographically unlikely.
 var ErrBuildFailed = errors.New("bloom: xor filter construction failed")
 
+// xorHashChunk is the per-task batch for the parallel hash precompute;
+// fixed so work splitting does not depend on the worker count.
+const xorHashChunk = 8192
+
+// keySlots caches one key's three slot indices and fingerprint for a
+// given seed, so the serial peel never re-hashes.
+type keySlots struct {
+	h0, h1, h2 uint32
+	fp         uint8
+}
+
 // BuildXor8 constructs a filter over the given keys. Keys must be
 // distinct; duplicates make peeling fail.
+//
+// The peel itself is inherently sequential (each removal can unlock the
+// next), but the dominant per-attempt cost — hashing every key to its
+// three slots and fingerprint — is pure per-key work and runs across
+// the worker pool. Slot sets track XORs of key *indices*, so the peel
+// reads the precomputed hashes by index instead of re-deriving them.
+// Seeds are tried in the same fixed order as the serial version, so the
+// constructed filter is byte-identical at any worker count.
 func BuildXor8(keys []uint64) (*Xor8, error) {
 	n := len(keys)
 	if n == 0 {
@@ -74,36 +95,42 @@ func BuildXor8(keys []uint64) (*Xor8, error) {
 	blockLength := capacity / 3
 
 	type slotSet struct {
-		count uint32
-		mask  uint64 // XOR of keys mapping here
+		count   uint32
+		maskIdx uint32 // XOR of key indices mapping here
 	}
 	sets := make([]slotSet, capacity)
-	stackKeys := make([]uint64, 0, n)
+	hs := make([]keySlots, n)
+	stackIdx := make([]uint32, 0, n)
 	stackSlots := make([]uint32, 0, n)
 	queue := make([]uint32, 0, capacity)
 
 	for attempt := 0; attempt < 100; attempt++ {
 		seed := splitmix64(uint64(attempt)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D)
+		parallel.ForChunks(n, xorHashChunk, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				k := keys[i]
+				h0, h1, h2 := xorHashes(k, seed, blockLength)
+				hs[i] = keySlots{h0: h0, h1: h1, h2: h2, fp: xorFingerprint(splitmix64(k ^ seed))}
+			}
+		})
 		for i := range sets {
 			sets[i] = slotSet{}
 		}
-		for _, k := range keys {
-			h0, h1, h2 := xorHashes(k, seed, blockLength)
-			sets[h0].count++
-			sets[h0].mask ^= k
-			sets[h1].count++
-			sets[h1].mask ^= k
-			sets[h2].count++
-			sets[h2].mask ^= k
+		for i := range hs {
+			for _, h := range [3]uint32{hs[i].h0, hs[i].h1, hs[i].h2} {
+				sets[h].count++
+				sets[h].maskIdx ^= uint32(i)
+			}
 		}
-		// Peel: repeatedly remove slots with exactly one key.
+		// Peel: repeatedly remove slots with exactly one key. A slot
+		// holding one key has maskIdx equal to that key's index.
 		queue = queue[:0]
 		for i := range sets {
 			if sets[i].count == 1 {
 				queue = append(queue, uint32(i))
 			}
 		}
-		stackKeys = stackKeys[:0]
+		stackIdx = stackIdx[:0]
 		stackSlots = stackSlots[:0]
 		for len(queue) > 0 {
 			slot := queue[len(queue)-1]
@@ -111,19 +138,18 @@ func BuildXor8(keys []uint64) (*Xor8, error) {
 			if sets[slot].count != 1 {
 				continue
 			}
-			k := sets[slot].mask
-			stackKeys = append(stackKeys, k)
+			idx := sets[slot].maskIdx
+			stackIdx = append(stackIdx, idx)
 			stackSlots = append(stackSlots, slot)
-			h0, h1, h2 := xorHashes(k, seed, blockLength)
-			for _, h := range [3]uint32{h0, h1, h2} {
+			for _, h := range [3]uint32{hs[idx].h0, hs[idx].h1, hs[idx].h2} {
 				sets[h].count--
-				sets[h].mask ^= k
+				sets[h].maskIdx ^= idx
 				if sets[h].count == 1 {
 					queue = append(queue, h)
 				}
 			}
 		}
-		if len(stackKeys) != n {
+		if len(stackIdx) != n {
 			continue // cycle; retry with a new seed
 		}
 		// Assign fingerprints in reverse peel order. At the moment key k
@@ -132,14 +158,24 @@ func BuildXor8(keys []uint64) (*Xor8, error) {
 		// fp[h0]^fp[h1]^fp[h2] == fingerprint(k).
 		fp := make([]uint8, capacity)
 		for i := n - 1; i >= 0; i-- {
-			k := stackKeys[i]
-			slot := stackSlots[i]
-			h0, h1, h2 := xorHashes(k, seed, blockLength)
-			fp[slot] = xorFingerprint(splitmix64(k^seed)) ^ fp[h0] ^ fp[h1] ^ fp[h2]
+			ks := hs[stackIdx[i]]
+			fp[stackSlots[i]] = ks.fp ^ fp[ks.h0] ^ fp[ks.h1] ^ fp[ks.h2]
 		}
 		return &Xor8{seed: seed, blockLength: blockLength, fingerprints: fp}, nil
 	}
 	return nil, fmt.Errorf("%w after 100 seeds (duplicate keys?)", ErrBuildFailed)
+}
+
+// ContainsAll probes a batch of keys across the worker pool, returning
+// per-key results in input order.
+func (x *Xor8) ContainsAll(keys []uint64) []bool {
+	out := make([]bool, len(keys))
+	parallel.ForChunks(len(keys), xorHashChunk, func(_, lo, hi int) {
+		for i, key := range keys[lo:hi] {
+			out[lo+i] = x.Contains(key)
+		}
+	})
+	return out
 }
 
 // Contains reports whether key may be in the set (false positives at

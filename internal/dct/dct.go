@@ -17,6 +17,7 @@ package dct
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // table holds the orthonormal DCT-II basis for a given N:
@@ -28,17 +29,22 @@ type table struct {
 	basis [][]float64
 }
 
+// tables is a copy-on-write map so the per-transform read path is a
+// single atomic load with no lock — every 8×8 watermark block and 32×32
+// phash transform goes through tableFor, and under the parallel
+// execution layer a global mutex here serializes all workers. The two
+// production sizes are pre-seeded; other sizes take the slow path once.
 var (
-	tableMu sync.Mutex
-	tables  = map[int]*table{}
+	tables  atomic.Pointer[map[int]*table]
+	tableMu sync.Mutex // serializes writers only
 )
 
-func tableFor(n int) *table {
-	tableMu.Lock()
-	defer tableMu.Unlock()
-	if t, ok := tables[n]; ok {
-		return t
-	}
+func init() {
+	m := map[int]*table{8: buildTable(8), 32: buildTable(32)}
+	tables.Store(&m)
+}
+
+func buildTable(n int) *table {
 	t := &table{n: n, basis: make([][]float64, n)}
 	for k := 0; k < n; k++ {
 		row := make([]float64, n)
@@ -51,14 +57,36 @@ func tableFor(n int) *table {
 		}
 		t.basis[k] = row
 	}
-	tables[n] = t
+	return t
+}
+
+func tableFor(n int) *table {
+	if t, ok := (*tables.Load())[n]; ok {
+		return t
+	}
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	cur := *tables.Load()
+	if t, ok := cur[n]; ok {
+		return t
+	}
+	next := make(map[int]*table, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	t := buildTable(n)
+	next[n] = t
+	tables.Store(&next)
 	return t
 }
 
 // Forward1D writes the DCT-II of src into dst. len(src) and len(dst) must
 // be equal; they may not alias.
 func Forward1D(dst, src []float64) {
-	t := tableFor(len(src))
+	forward1D(tableFor(len(src)), dst, src)
+}
+
+func forward1D(t *table, dst, src []float64) {
 	for k := 0; k < t.n; k++ {
 		var s float64
 		row := t.basis[k]
@@ -71,7 +99,10 @@ func Forward1D(dst, src []float64) {
 
 // Inverse1D writes the DCT-III (inverse of Forward1D) of src into dst.
 func Inverse1D(dst, src []float64) {
-	t := tableFor(len(src))
+	inverse1D(tableFor(len(src)), dst, src)
+}
+
+func inverse1D(t *table, dst, src []float64) {
 	for i := 0; i < t.n; i++ {
 		var s float64
 		for k, v := range src {
@@ -98,17 +129,42 @@ func (b *Block) At(r, c int) float64 { return b.Data[r*b.N+c] }
 // Set assigns the element at row r, column c.
 func (b *Block) Set(r, c int, v float64) { b.Data[r*b.N+c] = v }
 
+// scratch is the per-transform working memory for the 2D paths. The
+// serial implementation allocated three slices per call — three allocs
+// per 8×8 block is the dominant allocation cost of watermark embed and
+// extract — so 2D transforms now draw scratch from a pool. Capacities
+// only grow (the repo uses N=8 and N=32), so steady state is
+// allocation-free.
+type scratch struct {
+	tmp, out, inter []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch(n int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	if cap(s.tmp) < n {
+		s.tmp = make([]float64, n)
+		s.out = make([]float64, n)
+	}
+	if cap(s.inter) < n*n {
+		s.inter = make([]float64, n*n)
+	}
+	s.tmp, s.out, s.inter = s.tmp[:n], s.out[:n], s.inter[:n*n]
+	return s
+}
+
 // Forward2D computes the 2D DCT-II of src into dst (rows then columns).
 // Both blocks must have the same N. dst and src may alias.
 func Forward2D(dst, src *Block) {
 	n := src.N
-	tmp := make([]float64, n)
-	out := make([]float64, n)
-	inter := make([]float64, n*n)
+	t := tableFor(n)
+	s := getScratch(n)
+	tmp, out, inter := s.tmp, s.out, s.inter
 	// Transform rows.
 	for r := 0; r < n; r++ {
 		copy(tmp, src.Data[r*n:(r+1)*n])
-		Forward1D(out, tmp)
+		forward1D(t, out, tmp)
 		copy(inter[r*n:(r+1)*n], out)
 	}
 	// Transform columns.
@@ -116,32 +172,34 @@ func Forward2D(dst, src *Block) {
 		for r := 0; r < n; r++ {
 			tmp[r] = inter[r*n+c]
 		}
-		Forward1D(out, tmp)
+		forward1D(t, out, tmp)
 		for r := 0; r < n; r++ {
 			dst.Data[r*n+c] = out[r]
 		}
 	}
+	scratchPool.Put(s)
 }
 
 // Inverse2D computes the 2D inverse DCT of src into dst. dst and src may
 // alias.
 func Inverse2D(dst, src *Block) {
 	n := src.N
-	tmp := make([]float64, n)
-	out := make([]float64, n)
-	inter := make([]float64, n*n)
+	t := tableFor(n)
+	s := getScratch(n)
+	tmp, out, inter := s.tmp, s.out, s.inter
 	for c := 0; c < n; c++ {
 		for r := 0; r < n; r++ {
 			tmp[r] = src.Data[r*n+c]
 		}
-		Inverse1D(out, tmp)
+		inverse1D(t, out, tmp)
 		for r := 0; r < n; r++ {
 			inter[r*n+c] = out[r]
 		}
 	}
 	for r := 0; r < n; r++ {
 		copy(tmp, inter[r*n:(r+1)*n])
-		Inverse1D(out, tmp)
+		inverse1D(t, out, tmp)
 		copy(dst.Data[r*n:(r+1)*n], out)
 	}
+	scratchPool.Put(s)
 }

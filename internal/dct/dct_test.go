@@ -3,6 +3,7 @@ package dct
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -202,4 +203,100 @@ func BenchmarkForward2D32(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Forward2D(dst, src)
 	}
+}
+
+// TestTableForConcurrent hammers table creation for previously unseen
+// sizes from many goroutines; run under -race this proves the
+// copy-on-write publication is sound and that every caller sees one
+// canonical table per size.
+func TestTableForConcurrent(t *testing.T) {
+	sizes := []int{3, 5, 7, 9, 11, 13, 17, 19, 23, 29}
+	const goroutines = 16
+	got := make([][]*table, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]*table, len(sizes))
+			for i, n := range sizes {
+				out[i] = tableFor(n)
+			}
+			got[g] = out
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range sizes {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d got a different table for n=%d", g, sizes[i])
+			}
+		}
+	}
+}
+
+// TestForward2DZeroAllocs asserts the pooled-scratch contract: after
+// warmup, 2D transforms at the production sizes allocate nothing.
+func TestForward2DZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool is intentionally lossy under -race")
+	}
+	src8, dst8 := NewBlock(8), NewBlock(8)
+	src32, dst32 := NewBlock(32), NewBlock(32)
+	for i := range src8.Data {
+		src8.Data[i] = float64(i)
+	}
+	for i := range src32.Data {
+		src32.Data[i] = float64(i % 255)
+	}
+	// Warm the pool at both sizes (capacities only grow, so interleaved
+	// 8/32 use settles at the larger capacity).
+	for i := 0; i < 16; i++ {
+		Forward2D(dst8, src8)
+		Forward2D(dst32, src32)
+		Inverse2D(dst8, src8)
+		Inverse2D(dst32, src32)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		Forward2D(dst8, src8)
+		Inverse2D(dst8, dst8)
+		Forward2D(dst32, src32)
+		Inverse2D(dst32, dst32)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state 2D transforms allocate %.1f objects/op, want 0", avg)
+	}
+}
+
+// BenchmarkForward1DParallel measures the lock-free table read path
+// under contention: before the copy-on-write map, every 1D transform
+// took a global mutex, so this benchmark collapsed instead of scaling.
+func BenchmarkForward1DParallel(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		src := make([]float64, 8)
+		dst := make([]float64, 8)
+		for i := range src {
+			src[i] = float64(i * 13 % 255)
+		}
+		for pb.Next() {
+			Forward1D(dst, src)
+		}
+	})
+}
+
+// BenchmarkForward2DParallel is the 2D analogue: pooled scratch plus
+// lock-free tables must let block transforms scale across cores.
+func BenchmarkForward2DParallel(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		src := NewBlock(8)
+		dst := NewBlock(8)
+		for i := range src.Data {
+			src.Data[i] = float64(i % 255)
+		}
+		for pb.Next() {
+			Forward2D(dst, src)
+		}
+	})
 }

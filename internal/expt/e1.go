@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"irs/internal/bloom"
+	"irs/internal/parallel"
 )
 
 // E1BloomSizing regenerates §4.4's filter-sizing claim: "a 1GB filter
@@ -44,16 +45,26 @@ func E1BloomSizing(scale Scale, seed int64) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Key streams are a pure function of the index, so both the
+		// filter build and the probe loop run on the worker pool: keys
+		// are materialized in parallel by index, AddAll shards the
+		// insert (bit-identical to serial Add by OR-commutativity), and
+		// CountHits sums per-chunk tallies in chunk order.
 		base := rng.Uint64()
-		for i := 0; i < n; i++ {
-			f.Add(mix(base + uint64(i)))
-		}
-		fp := 0
-		for i := 0; i < probes; i++ {
-			if f.Test(mix(base + uint64(1_000_000_000+i))) {
-				fp++
+		keys := make([]uint64, n)
+		parallel.ForChunks(n, 8192, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				keys[i] = mix(base + uint64(i))
 			}
-		}
+		})
+		f.AddAll(keys)
+		probeKeys := make([]uint64, probes)
+		parallel.ForChunks(probes, 8192, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				probeKeys[i] = mix(base + uint64(1_000_000_000+i))
+			}
+		})
+		fp := f.CountHits(probeKeys)
 		measured := float64(fp) / float64(probes)
 		theory := bloom.TheoreticalFPR(f.M(), k, uint64(n))
 		r.AddRow(

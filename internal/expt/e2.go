@@ -11,8 +11,36 @@ import (
 	"irs/internal/bloom"
 	"irs/internal/ids"
 	"irs/internal/ledger"
+	"irs/internal/parallel"
 	"irs/internal/proxy"
 )
+
+// claimInput is one precomputed ledger claim: the content hash and its
+// owner signature. Signing dominates experiment setup (one Ed25519
+// signature per claim), and both fields are pure functions of the claim
+// index, so experiments build the batch on the worker pool and then
+// apply it serially in index order — the ledger's injected Rand stream
+// hands out identifiers in that same order, keeping tables
+// reproducible at any worker count.
+type claimInput struct {
+	h   [32]byte
+	sig []byte
+}
+
+// signClaims precomputes claim inputs for indices [0, n) where the
+// content hash of claim i is sha256(be64(base+i)).
+func signClaims(base uint64, n int, priv ed25519.PrivateKey) []claimInput {
+	out := make([]claimInput, n)
+	parallel.ForChunks(n, 256, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], base+uint64(i))
+			h := sha256.Sum256(buf[:])
+			out[i] = claimInput{h: h, sig: ed25519.Sign(priv, ledger.ClaimMsg(h))}
+		}
+	})
+	return out
+}
 
 // E2LedgerLoad regenerates §4.4's load-reduction claim: with a revocation
 // filter in front of the ledger, only false hits (≈2%) and actually
@@ -37,7 +65,12 @@ func E2LedgerLoad(scale Scale, seed int64) (*Report, error) {
 	const revokedClaimFrac = 0.5  // half of all claims are auto-revoked
 	const revokedViewFrac = 0.005 // but almost no views target them
 
-	l, err := ledger.New(ledger.Config{ID: 1, FilterFPR: 0.02})
+	// The injected Rand makes issued PhotoIDs (and with them the filter
+	// bit patterns and false-hit counts) a pure function of the seed.
+	l, err := ledger.New(ledger.Config{
+		ID: 1, FilterFPR: 0.02,
+		Rand: mrand.New(mrand.NewSource(seed ^ 0x1d5a11)),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -49,13 +82,11 @@ func E2LedgerLoad(scale Scale, seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	inputs := signClaims(uint64(seed), nClaims, priv)
 	var active, revoked []ids.PhotoID
-	for i := 0; i < nClaims; i++ {
-		var buf [8]byte
-		binary.BigEndian.PutUint64(buf[:], uint64(seed)+uint64(i))
-		h := sha256.Sum256(buf[:])
+	for i, in := range inputs {
 		rev := i < int(float64(nClaims)*revokedClaimFrac)
-		rec, err := l.Claim(h, pub, ed25519.Sign(priv, ledger.ClaimMsg(h)), rev)
+		rec, err := l.Claim(in.h, pub, in.sig, rev)
 		if err != nil {
 			return nil, err
 		}

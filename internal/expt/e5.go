@@ -3,10 +3,9 @@ package expt
 import (
 	"crypto/ed25519"
 	"crypto/rand"
-	"crypto/sha256"
-	"encoding/binary"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 
 	"irs/internal/bloom"
 	"irs/internal/ledger"
@@ -34,7 +33,14 @@ func E5DeltaUpdates(scale Scale, seed int64) (*Report, error) {
 	const hours = 24
 
 	for _, churn := range churns {
-		l, err := ledger.New(ledger.Config{ID: 1, FilterFPR: 0.02, FilterHistory: 30})
+		// Seeded identifier stream: delta sizes depend on which filter
+		// bits each claim sets, so reproducible tables need
+		// reproducible PhotoIDs (see internal/parallel's determinism
+		// contract).
+		l, err := ledger.New(ledger.Config{
+			ID: 1, FilterFPR: 0.02, FilterHistory: 30,
+			Rand: mrand.New(mrand.NewSource(seed ^ int64(churn))),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -45,12 +51,12 @@ func E5DeltaUpdates(scale Scale, seed int64) (*Report, error) {
 		}
 		next := uint64(seed)
 		claim := func(n int) error {
-			for i := 0; i < n; i++ {
-				var buf [8]byte
-				binary.BigEndian.PutUint64(buf[:], next)
-				next++
-				h := sha256.Sum256(buf[:])
-				if _, err := l.Claim(h, pub, ed25519.Sign(priv, ledger.ClaimMsg(h)), true); err != nil {
+			// Signatures fan out across the pool; claims apply serially
+			// in index order (signClaims in e2.go).
+			inputs := signClaims(next, n, priv)
+			next += uint64(n)
+			for _, in := range inputs {
+				if _, err := l.Claim(in.h, pub, in.sig, true); err != nil {
 					return err
 				}
 			}

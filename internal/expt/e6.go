@@ -5,6 +5,7 @@ import (
 	mrand "math/rand"
 
 	"irs/internal/ids"
+	"irs/internal/parallel"
 	"irs/internal/phash"
 	"irs/internal/photo"
 	"irs/internal/watermark"
@@ -39,18 +40,27 @@ func E6Robustness(scale Scale, seed int64) (*Report, error) {
 		id  ids.PhotoID
 		sig phash.Signature
 	}
-	photos := make([]labeled, nPhotos)
-	for i := range photos {
+	// Identifiers come from the sequential seeded stream (cheap, and
+	// byte-compatible with the committed tables); the expensive work —
+	// synthesis, embedding, hashing — is a pure function of (seed, i,
+	// id) and fans out across the pool.
+	photoIDs := make([]ids.PhotoID, nPhotos)
+	for i := range photoIDs {
+		photoIDs[i] = ids.PhotoID{Ledger: 1}
+		rng.Read(photoIDs[i].Rec[:])
+	}
+	photos, err := parallel.MapErr(photoIDs, func(i int, id ids.PhotoID) (labeled, error) {
 		im := photo.Synth(seed+int64(i)*31, 192, 128)
-		id := ids.PhotoID{Ledger: 1}
-		rng.Read(id.Rec[:])
 		wm, err := watermark.Embed(im, id.Bytes(), cfg)
 		if err != nil {
-			return nil, err
+			return labeled{}, err
 		}
 		wm.Meta.Set(photo.KeyIRSID, id.String())
 		wm.Meta.Set(photo.KeyIRSLedgerURL, "irs://ledger/1")
-		photos[i] = labeled{img: wm, id: id, sig: phash.NewSignature(im)}
+		return labeled{img: wm, id: id, sig: phash.NewSignature(im)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	transforms := photo.BenignTransforms()
@@ -88,33 +98,48 @@ func E6Robustness(scale Scale, seed int64) (*Report, error) {
 		},
 	)
 
+	// Each (transform, photo) cell is independent: transforms return
+	// fresh images and extraction only reads the input. The per-photo
+	// survival checks — the experiment's entire cost — run on the pool,
+	// and the counts reduce over the ordered result slice.
+	type survival struct {
+		meta, wm, hash bool
+	}
 	for _, tr := range transforms {
-		var metaOK, wmOK, eitherOK, hashOK int
-		for _, p := range photos {
+		cells, err := parallel.MapErr(photos, func(_ int, p labeled) (survival, error) {
 			out, err := tr.Apply(p.img)
 			if err != nil {
-				return nil, fmt.Errorf("e6: %s: %w", tr.Name, err)
+				return survival{}, fmt.Errorf("e6: %s: %w", tr.Name, err)
 			}
-			meta := false
-			if s := out.Meta.Get(photo.KeyIRSID); s != "" {
-				if id, perr := ids.Parse(s); perr == nil && id == p.id {
-					meta = true
-					metaOK++
+			var s survival
+			if str := out.Meta.Get(photo.KeyIRSID); str != "" {
+				if id, perr := ids.Parse(str); perr == nil && id == p.id {
+					s.meta = true
 				}
 			}
-			wm := false
 			if res, err := watermark.ExtractAligned(out, cfg); err == nil && ids.FromBytes(res.Payload) == p.id {
-				wm = true
+				s.wm = true
 			} else if res, err := watermark.Extract(out, cfg); err == nil && ids.FromBytes(res.Payload) == p.id {
-				wm = true
+				s.wm = true
 			}
-			if wm {
+			s.hash = p.sig.Matches(phash.NewSignature(out))
+			return s, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var metaOK, wmOK, eitherOK, hashOK int
+		for _, s := range cells {
+			if s.meta {
+				metaOK++
+			}
+			if s.wm {
 				wmOK++
 			}
-			if meta || wm {
+			if s.meta || s.wm {
 				eitherOK++
 			}
-			if p.sig.Matches(phash.NewSignature(out)) {
+			if s.hash {
 				hashOK++
 			}
 		}

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -57,8 +58,16 @@ func FromBytes(b [16]byte) PhotoID {
 
 // New issues a fresh PhotoID under the given ledger using crypto/rand.
 func New(l LedgerID) (PhotoID, error) {
+	return NewFrom(l, rand.Reader)
+}
+
+// NewFrom issues a fresh PhotoID reading record entropy from r.
+// Production ledgers always use New (CSPRNG identifiers, so IDs do not
+// reveal claim ordering or volume); experiments inject a seeded stream
+// so regenerated tables are reproducible.
+func NewFrom(l LedgerID, r io.Reader) (PhotoID, error) {
 	p := PhotoID{Ledger: l}
-	if _, err := rand.Read(p.Rec[:]); err != nil {
+	if _, err := io.ReadFull(r, p.Rec[:]); err != nil {
 		return PhotoID{}, fmt.Errorf("ids: generating record id: %w", err)
 	}
 	return p, nil

@@ -36,6 +36,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -126,6 +127,12 @@ type Config struct {
 	// FilterHistory is how many past snapshots to retain for delta
 	// service; zero means 25 (a day of hourly snapshots, plus one).
 	FilterHistory int
+	// Rand, when non-nil, supplies record-identifier entropy in place
+	// of crypto/rand. Production ledgers leave it nil (IDs must not
+	// reveal claim ordering); experiments inject a seeded stream so
+	// regenerated tables are byte-reproducible. Reads are serialized
+	// under the ledger lock, so a plain *math/rand.Rand is fine.
+	Rand io.Reader
 }
 
 // Ledger is a single ledger instance. Safe for concurrent use.
@@ -281,6 +288,15 @@ func (l *Ledger) CustodialClaim(contentHash [32]byte, pub ed25519.PublicKey, has
 	return l.claim(contentHash, pub, hashSig, false, true)
 }
 
+// newID issues a record identifier from cfg.Rand if injected, else
+// crypto/rand. Callers must hold l.mu.
+func (l *Ledger) newID() (ids.PhotoID, error) {
+	if l.cfg.Rand != nil {
+		return ids.NewFrom(l.cfg.ID, l.cfg.Rand)
+	}
+	return ids.New(l.cfg.ID)
+}
+
 func (l *Ledger) claim(contentHash [32]byte, pub ed25519.PublicKey, hashSig []byte, revokedAtBirth, custodial bool) (Receipt, error) {
 	if len(pub) != ed25519.PublicKeySize {
 		return Receipt{}, fmt.Errorf("%w: bad public key size %d", ErrBadSignature, len(pub))
@@ -288,13 +304,8 @@ func (l *Ledger) claim(contentHash [32]byte, pub ed25519.PublicKey, hashSig []by
 	if !ed25519.Verify(pub, claimMsg(contentHash), hashSig) {
 		return Receipt{}, ErrBadSignature
 	}
-	id, err := ids.New(l.cfg.ID)
-	if err != nil {
-		return Receipt{}, err
-	}
 	tok := l.tsa.Stamp(contentHash)
 	rec := &Record{
-		ID:          id,
 		PubKey:      append(ed25519.PublicKey(nil), pub...),
 		HashSig:     append([]byte(nil), hashSig...),
 		ContentHash: contentHash,
@@ -307,6 +318,14 @@ func (l *Ledger) claim(contentHash [32]byte, pub ed25519.PublicKey, hashSig []by
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Identifier generation sits inside the lock so an injected
+	// cfg.Rand stream is read in claim order (concurrent claims would
+	// otherwise interleave it nondeterministically).
+	id, err := l.newID()
+	if err != nil {
+		return Receipt{}, err
+	}
+	rec.ID = id
 	l.records[id] = rec
 	if rec.State == StateRevoked {
 		l.revoked[id] = true

@@ -26,6 +26,7 @@ import (
 	"math/bits"
 
 	"irs/internal/dct"
+	"irs/internal/parallel"
 	"irs/internal/photo"
 )
 
@@ -190,6 +191,32 @@ func (s Signature) Matches(o Signature) bool {
 		votes++
 	}
 	return votes >= 2
+}
+
+// Batch APIs: aggregators hash whole upload sets and rebuild
+// robust-hash databases over every hosted photo (§3.2), which is
+// per-image independent work — each batch call fans the set out across
+// the worker pool, with results in input order.
+
+// AHashAll computes AHash for every image concurrently.
+func AHashAll(ims []*photo.Image) []Hash {
+	return parallel.Map(ims, func(_ int, im *photo.Image) Hash { return AHash(im) })
+}
+
+// DHashAll computes DHash for every image concurrently.
+func DHashAll(ims []*photo.Image) []Hash {
+	return parallel.Map(ims, func(_ int, im *photo.Image) Hash { return DHash(im) })
+}
+
+// PHashAll computes PHash for every image concurrently.
+func PHashAll(ims []*photo.Image) []Hash {
+	return parallel.Map(ims, func(_ int, im *photo.Image) Hash { return PHash(im) })
+}
+
+// SignatureAll computes the full three-hash signature for every image
+// concurrently.
+func SignatureAll(ims []*photo.Image) []Signature {
+	return parallel.Map(ims, func(_ int, im *photo.Image) Signature { return NewSignature(im) })
 }
 
 // ExpectedRandomDistance is the mean Hamming distance between hashes of

@@ -1,0 +1,65 @@
+package watermark
+
+import (
+	"bytes"
+	"testing"
+
+	"irs/internal/parallel"
+	"irs/internal/photo"
+)
+
+// TestEmbedExtractWorkerInvariance is the watermark half of the
+// determinism contract: embedding and extraction must be byte-identical
+// at any worker count, because the committed experiment tables are
+// regenerated from their output.
+func TestEmbedExtractWorkerInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	im := photo.Synth(11, 192, 128)
+	payload := payloadFromSeed(3)
+
+	type run struct {
+		pix     []byte
+		aligned Result
+		full    Result
+	}
+	runAt := func(workers int) run {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		wm, err := Embed(im, payload, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: embed: %v", workers, err)
+		}
+		aligned, err := ExtractAligned(wm, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: aligned extract: %v", workers, err)
+		}
+		// Crop to misalign the grid so the full geometric search (the
+		// parallel fan-out over pixel phases) does real work.
+		cropped, err := photo.Crop(wm, 5, 3, wm.W-8, wm.H-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Extract(cropped, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: full extract: %v", workers, err)
+		}
+		return run{pix: wm.Pix, aligned: aligned, full: full}
+	}
+
+	base := runAt(1)
+	if base.aligned.Payload != payload || base.full.Payload != payload {
+		t.Fatal("serial baseline failed to recover payload")
+	}
+	for _, w := range []int{2, 4, 8} {
+		got := runAt(w)
+		if !bytes.Equal(got.pix, base.pix) {
+			t.Errorf("workers=%d: embedded pixels differ from serial", w)
+		}
+		if got.aligned != base.aligned {
+			t.Errorf("workers=%d: aligned result %+v != serial %+v", w, got.aligned, base.aligned)
+		}
+		if got.full != base.full {
+			t.Errorf("workers=%d: full-search result %+v != serial %+v", w, got.full, base.full)
+		}
+	}
+}

@@ -39,8 +39,16 @@ import (
 	"math"
 
 	"irs/internal/dct"
+	"irs/internal/parallel"
 	"irs/internal/photo"
 )
+
+// blockRowChunk is the number of 8-pixel block rows one pool task
+// processes in Embed/ExtractAligned. It is a function of nothing — in
+// particular not of the worker count — so chunk boundaries, and with
+// them every float accumulation order, are identical at any
+// parallelism (the determinism contract in internal/parallel).
+const blockRowChunk = 4
 
 // Config parameterizes the embedder. The zero value is not valid; use
 // DefaultConfig.
@@ -136,20 +144,26 @@ func Embed(im *photo.Image, payload [PayloadBytes]byte, cfg Config) (*photo.Imag
 	bits := codeword(payload)
 	out := im.Clone()
 	luma := im.Luma()
-	src := dct.NewBlock(8)
-	coef := dct.NewBlock(8)
 	bw, bh := im.W/8, im.H/8
 	ci := cfg.CoefU*8 + cfg.CoefV
-	for by := 0; by < bh; by++ {
-		for bx := 0; bx < bw; bx++ {
-			loadBlock(src, luma, im.W, bx*8, by*8)
-			dct.Forward2D(coef, src)
-			bit := bits[(by%cfg.TileH)*cfg.TileW+bx%cfg.TileW]
-			coef.Data[ci] = qimQuantize(coef.Data[ci], cfg.Delta, bit)
-			dct.Inverse2D(src, coef)
-			storeBlock(luma, im.W, bx*8, by*8, src)
+	// Block rows are independent (each task reads and writes a disjoint
+	// band of the luma plane), so the grid fans out across the pool;
+	// every block's pixels are a pure function of its input block, so
+	// output is byte-identical to the serial scan at any worker count.
+	parallel.ForChunks(bh, blockRowChunk, func(_, lo, hi int) {
+		src := dct.NewBlock(8)
+		coef := dct.NewBlock(8)
+		for by := lo; by < hi; by++ {
+			for bx := 0; bx < bw; bx++ {
+				loadBlock(src, luma, im.W, bx*8, by*8)
+				dct.Forward2D(coef, src)
+				bit := bits[(by%cfg.TileH)*cfg.TileW+bx%cfg.TileW]
+				coef.Data[ci] = qimQuantize(coef.Data[ci], cfg.Delta, bit)
+				dct.Inverse2D(src, coef)
+				storeBlock(luma, im.W, bx*8, by*8, src)
+			}
 		}
-	}
+	})
 	out.SetLuma(luma)
 	return out, nil
 }
@@ -208,16 +222,13 @@ func Extract(im *photo.Image, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	luma := im.Luma()
-	src := dct.NewBlock(8)
-	coef := dct.NewBlock(8)
-	ci := cfg.CoefU*8 + cfg.CoefV
-	best := Result{Margin: -1}
-	found := false
 
-	votes := make([]float64, codewordBits)
-	counts := make([]int, codewordBits)
-	hard := make([]bool, codewordBits)
-
+	// Enumerate the candidate pixel phases in the serial scan order
+	// (py-major), then fan the per-phase searches — each one an
+	// independent DCT pass over the whole grid plus a 160-phase vote
+	// sweep — out across the pool.
+	type phase struct{ py, px, bw, bh int }
+	var phases []phase
 	for py := 0; py < 8; py++ {
 		bh := (im.H - py) / 8
 		if bh < 1 {
@@ -228,66 +239,105 @@ func Extract(im *photo.Image, cfg Config) (Result, error) {
 			if bw < 1 {
 				continue
 			}
-			// Soft values per block for this pixel phase.
-			soft := make([]float64, bw*bh)
-			for by := 0; by < bh; by++ {
-				for bx := 0; bx < bw; bx++ {
-					loadBlock(src, luma, im.W, px+bx*8, py+by*8)
-					dct.Forward2D(coef, src)
-					soft[by*bw+bx] = qimSoft(coef.Data[ci], cfg.Delta)
-				}
-			}
-			// Aggregate votes for each codeword phase.
-			for cy := 0; cy < cfg.TileH; cy++ {
-				for cx := 0; cx < cfg.TileW; cx++ {
-					for i := range votes {
-						votes[i] = 0
-						counts[i] = 0
-					}
-					for by := 0; by < bh; by++ {
-						row := ((by + cy) % cfg.TileH) * cfg.TileW
-						for bx := 0; bx < bw; bx++ {
-							idx := row + (bx+cx)%cfg.TileW
-							votes[idx] += soft[by*bw+bx]
-							counts[idx]++
-						}
-					}
-					covered := true
-					var margin float64
-					for i := range votes {
-						if counts[i] == 0 {
-							covered = false
-							break
-						}
-						hard[i] = votes[i] > 0
-						m := votes[i] / float64(counts[i])
-						if m < 0 {
-							m = -m
-						}
-						margin += m
-					}
-					if !covered {
-						continue
-					}
-					margin /= codewordBits
-					payload, ok := decodeword(hard)
-					if ok && margin > best.Margin {
-						best = Result{
-							Payload:     payload,
-							Margin:      margin,
-							PixelPhaseX: px, PixelPhaseY: py,
-							CodePhaseX: cx, CodePhaseY: cy,
-						}
-						found = true
-					}
-				}
-			}
+			phases = append(phases, phase{py: py, px: px, bw: bw, bh: bh})
+		}
+	}
+
+	candidates := parallel.Map(phases, func(_ int, p phase) phaseCandidate {
+		return searchPixelPhase(luma, im.W, p.px, p.py, p.bw, p.bh, cfg)
+	})
+
+	// Reduce in phase order with the same strictly-greater rule the
+	// serial scan used, so the accepted candidate (and every tie-break)
+	// is identical at any worker count.
+	best := Result{Margin: -1}
+	found := false
+	for _, c := range candidates {
+		if c.found && c.res.Margin > best.Margin {
+			best = c.res
+			found = true
 		}
 	}
 	if !found {
 		return Result{}, ErrNotFound
 	}
 	return best, nil
+}
+
+// phaseCandidate is one pixel phase's best CRC-valid extraction.
+type phaseCandidate struct {
+	res   Result
+	found bool
+}
+
+// searchPixelPhase runs the codeword-phase vote sweep for one pixel
+// alignment, returning the best CRC-valid candidate. The local best
+// uses the same strictly-greater comparison as the global reduction,
+// which preserves the serial scan's first-best-wins tie-breaking.
+func searchPixelPhase(luma []float64, w, px, py, bw, bh int, cfg Config) (c phaseCandidate) {
+	src := dct.NewBlock(8)
+	coef := dct.NewBlock(8)
+	ci := cfg.CoefU*8 + cfg.CoefV
+	votes := make([]float64, codewordBits)
+	counts := make([]int, codewordBits)
+	hard := make([]bool, codewordBits)
+
+	// Soft values per block for this pixel phase.
+	soft := make([]float64, bw*bh)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			loadBlock(src, luma, w, px+bx*8, py+by*8)
+			dct.Forward2D(coef, src)
+			soft[by*bw+bx] = qimSoft(coef.Data[ci], cfg.Delta)
+		}
+	}
+	c.res = Result{Margin: -1}
+	// Aggregate votes for each codeword phase.
+	for cy := 0; cy < cfg.TileH; cy++ {
+		for cx := 0; cx < cfg.TileW; cx++ {
+			for i := range votes {
+				votes[i] = 0
+				counts[i] = 0
+			}
+			for by := 0; by < bh; by++ {
+				row := ((by + cy) % cfg.TileH) * cfg.TileW
+				for bx := 0; bx < bw; bx++ {
+					idx := row + (bx+cx)%cfg.TileW
+					votes[idx] += soft[by*bw+bx]
+					counts[idx]++
+				}
+			}
+			covered := true
+			var margin float64
+			for i := range votes {
+				if counts[i] == 0 {
+					covered = false
+					break
+				}
+				hard[i] = votes[i] > 0
+				m := votes[i] / float64(counts[i])
+				if m < 0 {
+					m = -m
+				}
+				margin += m
+			}
+			if !covered {
+				continue
+			}
+			margin /= codewordBits
+			payload, ok := decodeword(hard)
+			if ok && margin > c.res.Margin {
+				c.res = Result{
+					Payload:     payload,
+					Margin:      margin,
+					PixelPhaseX: px, PixelPhaseY: py,
+					CodePhaseX: cx, CodePhaseY: cy,
+				}
+				c.found = true
+			}
+		}
+	}
+	return c
 }
 
 // ExtractAligned is the fast path for images known to be grid-aligned and
@@ -299,18 +349,31 @@ func ExtractAligned(im *photo.Image, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	luma := im.Luma()
-	src := dct.NewBlock(8)
-	coef := dct.NewBlock(8)
 	ci := cfg.CoefU*8 + cfg.CoefV
+	bw, bh := im.W/8, im.H/8
+	// The DCT pass dominates; run it across the pool with each block's
+	// soft decision written by block index. The float vote accumulation
+	// then runs serially in grid order, so the sums (and the margins
+	// they produce) are bit-identical to the serial path regardless of
+	// worker count or schedule.
+	soft := make([]float64, bw*bh)
+	parallel.ForChunks(bh, blockRowChunk, func(_, lo, hi int) {
+		src := dct.NewBlock(8)
+		coef := dct.NewBlock(8)
+		for by := lo; by < hi; by++ {
+			for bx := 0; bx < bw; bx++ {
+				loadBlock(src, luma, im.W, bx*8, by*8)
+				dct.Forward2D(coef, src)
+				soft[by*bw+bx] = qimSoft(coef.Data[ci], cfg.Delta)
+			}
+		}
+	})
 	votes := make([]float64, codewordBits)
 	counts := make([]int, codewordBits)
-	bw, bh := im.W/8, im.H/8
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
-			loadBlock(src, luma, im.W, bx*8, by*8)
-			dct.Forward2D(coef, src)
 			idx := (by%cfg.TileH)*cfg.TileW + bx%cfg.TileW
-			votes[idx] += qimSoft(coef.Data[ci], cfg.Delta)
+			votes[idx] += soft[by*bw+bx]
 			counts[idx]++
 		}
 	}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Repository check gate: formatting, vet, and the full test suite under
+# the race detector. The parallel layer's determinism tests run at
+# several worker counts regardless of the host's core count, so a pass
+# here covers single-core CI machines too.
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l cmd internal bench_test.go doc.go examples 2>/dev/null || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go test -race ./...
+echo "check.sh: all green"
