@@ -7,8 +7,11 @@
 //	irs-bench -run all -scale full            # everything, full workloads
 //	irs-bench -run e2,e4 -scale quick -seed 7 # a subset, fast
 //	irs-bench -workers 8                      # pin the worker pool width
-//	irs-bench -parallel-out BENCH_parallel.json -run e1,e5,e6
+//	irs-bench -parallel-out BENCH_parallel.json -run e1,e5,e6 -scale quick,full
 //	                                          # serial-vs-parallel timings
+//	                                          # (comma-list sweeps scales)
+//	irs-bench -serve -serve-out BENCH_serving.json
+//	                                          # serving-path load harness
 //	irs-bench -list                           # enumerate experiments
 package main
 
@@ -41,11 +44,20 @@ type parallelTiming struct {
 func main() {
 	var (
 		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		scale   = flag.String("scale", "full", "workload scale: quick or full")
+		scale   = flag.String("scale", "full", "workload scale: quick or full (with -parallel-out, a comma list sweeps)")
 		seed    = flag.Int64("seed", 42, "random seed")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		workers = flag.Int("workers", 0, "worker pool width (0 = IRS_WORKERS env or GOMAXPROCS)")
 		parOut  = flag.String("parallel-out", "", "write serial-vs-parallel timings to this JSON file")
+
+		serve        = flag.Bool("serve", false, "run the serving-path load harness instead of experiments")
+		serveOut     = flag.String("serve-out", "BENCH_serving.json", "serving report path")
+		serveWorkers = flag.Int("serve-workers", 8, "concurrent load-generator workers")
+		serveIDs     = flag.Int("serve-ids", 4096, "claimed photo population per ledger")
+		serveBatch   = flag.Int("serve-batch", 48, "identifiers per page (the browser model's page size)")
+		servePages   = flag.Int("serve-pages", 60, "pages per worker per arm")
+		serveRevoked = flag.Float64("serve-revoked", 0.1, "fraction of claims revoked at birth")
+		serveZipf    = flag.Float64("serve-zipf", 1.1, "Zipf s parameter for view popularity (>1)")
 	)
 	flag.Parse()
 
@@ -58,16 +70,41 @@ func main() {
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
-	var sc expt.Scale
-	switch *scale {
-	case "quick":
-		sc = expt.Quick
-	case "full":
-		sc = expt.Full
-	default:
-		fmt.Fprintf(os.Stderr, "irs-bench: bad -scale %q (quick|full)\n", *scale)
+	if *serve {
+		err := runServe(serveConfig{
+			Out:     *serveOut,
+			Workers: *serveWorkers,
+			IDs:     *serveIDs,
+			Batch:   *serveBatch,
+			Pages:   *servePages,
+			Revoked: *serveRevoked,
+			Zipf:    *serveZipf,
+			Seed:    *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irs-bench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var scales []expt.Scale
+	scaleNames := strings.Split(*scale, ",")
+	for _, name := range scaleNames {
+		switch strings.TrimSpace(name) {
+		case "quick":
+			scales = append(scales, expt.Quick)
+		case "full":
+			scales = append(scales, expt.Full)
+		default:
+			fmt.Fprintf(os.Stderr, "irs-bench: bad -scale %q (quick|full)\n", name)
+			os.Exit(2)
+		}
+	}
+	if len(scales) > 1 && *parOut == "" {
+		fmt.Fprintf(os.Stderr, "irs-bench: a -scale sweep needs -parallel-out\n")
 		os.Exit(2)
 	}
+	sc := scales[0]
 
 	var selected []string
 	if *run == "all" {
@@ -89,16 +126,18 @@ func main() {
 			continue
 		}
 		if *parOut != "" {
-			t, err := timeSerialVsParallel(id, runner, sc, *seed)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "irs-bench: %s: %v\n", id, err)
-				failed = true
-				continue
+			for si, scv := range scales {
+				t, err := timeSerialVsParallel(id, runner, scv, *seed)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "irs-bench: %s: %v\n", id, err)
+					failed = true
+					continue
+				}
+				t.Scale = strings.TrimSpace(scaleNames[si])
+				timings = append(timings, t)
+				fmt.Printf("%s@%s: serial %.0fms, parallel %.0fms (%d workers, %.2fx, identical=%v)\n",
+					t.Experiment, t.Scale, t.SerialMs, t.ParallelMs, t.Workers, t.Speedup, t.OutputMatches)
 			}
-			t.Scale = *scale
-			timings = append(timings, t)
-			fmt.Printf("%s: serial %.0fms, parallel %.0fms (%d workers, %.2fx, identical=%v)\n",
-				t.Experiment, t.SerialMs, t.ParallelMs, t.Workers, t.Speedup, t.OutputMatches)
 			continue
 		}
 		start := time.Now()

@@ -1,0 +1,321 @@
+package main
+
+import (
+	"crypto/ed25519"
+	crand "crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/parallel"
+	"irs/internal/proxy"
+	"irs/internal/wire"
+)
+
+// The -serve harness measures the validation serving path end to end:
+// closed-loop workers play browsers validating pages of photo
+// identifiers against a proxy Validator whose misses resolve through a
+// real loopback HTTP ledger (or a direct in-process call, to isolate
+// transport cost). Arms toggle the two serving-path changes
+// independently — record-store sharding (ledger Shards=1 reproduces the
+// old single-lock layout) and page batching (one StatusBatch POST per
+// page vs one GET per image) — so the report attributes the win.
+//
+// The proxy runs with the cache and filter off: every validation
+// traverses the full proxy → ledger path, which is the regime the
+// optimization targets (filter hits never leave the proxy and are
+// already lock-free).
+
+// serveConfig carries the -serve-* flags.
+type serveConfig struct {
+	Out     string
+	Workers int
+	IDs     int
+	Batch   int
+	Pages   int
+	Revoked float64
+	Zipf    float64
+	Seed    int64
+}
+
+// serveArm is one measured configuration.
+type serveArm struct {
+	Arm       string  `json:"arm"`
+	Transport string  `json:"transport"` // "http" or "direct"
+	Batch     bool    `json:"batch"`
+	Shards    int     `json:"shards"`
+	Stripes   int     `json:"stripes"`
+	Pages     int     `json:"pages"`
+	PageSize  int     `json:"page_size"`
+	IDsPerSec float64 `json:"ids_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	WallMs    float64 `json:"wall_ms"`
+}
+
+// serveReport is the BENCH_serving.json document.
+type serveReport struct {
+	Seed       int64      `json:"seed"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Workers    int        `json:"workers"`
+	IDs        int        `json:"ids"`
+	Revoked    float64    `json:"revoked_fraction"`
+	Zipf       float64    `json:"zipf_s"`
+	Arms       []serveArm `json:"arms"`
+	// Speedup is the headline: ids/sec of the full new path (batched
+	// requests against the sharded ledger) over the old path (per-image
+	// requests against the single-lock ledger), both over real HTTP.
+	Speedup float64 `json:"speedup_batch_sharded_vs_per_id_single_lock"`
+	Note    string  `json:"note"`
+}
+
+// serveLedger is one prepared backend: a populated ledger plus both
+// transports.
+type serveLedger struct {
+	l      *ledger.Ledger
+	ids    []ids.PhotoID
+	http   *wire.Client
+	direct *wire.Loopback
+	close  func()
+}
+
+// setupServeLedger claims cfg.IDs photos (a deterministic fraction
+// revoked at birth) on a ledger with the given shard count and exposes
+// it over a loopback HTTP listener.
+func setupServeLedger(cfg serveConfig, shards int) (*serveLedger, error) {
+	l, err := ledger.New(ledger.Config{
+		ID:     1,
+		Shards: shards,
+		Rand:   rand.New(rand.NewSource(cfg.Seed ^ 0x5e21)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	pub, priv, err := ed25519.GenerateKey(crand.Reader)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	// Precompute hashes and owner signatures on the pool (the signing
+	// dominates), then claim serially in index order.
+	type claimInput struct {
+		h   [32]byte
+		sig []byte
+	}
+	inputs := make([]claimInput, cfg.IDs)
+	parallel.ForChunks(cfg.IDs, 256, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(cfg.Seed)+uint64(i))
+			h := sha256.Sum256(buf[:])
+			inputs[i] = claimInput{h: h, sig: ed25519.Sign(priv, ledger.ClaimMsg(h))}
+		}
+	})
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x7ea2))
+	population := make([]ids.PhotoID, cfg.IDs)
+	for i, in := range inputs {
+		rec, err := l.Claim(in.h, pub, in.sig, rng.Float64() < cfg.Revoked)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		population[i] = rec.ID
+	}
+
+	srv := wire.NewServer(l, "")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	return &serveLedger{
+		l:      l,
+		ids:    population,
+		http:   wire.NewClient("http://"+ln.Addr().String(), ""),
+		direct: &wire.Loopback{L: l},
+		close: func() {
+			hs.Close()
+			l.Close()
+		},
+	}, nil
+}
+
+// runServeArm drives one arm: cfg.Workers goroutines each validate
+// cfg.Pages pages of cfg.Batch Zipf-drawn identifiers, per-image or
+// batched, and record per-page latency.
+func runServeArm(cfg serveConfig, name string, backend *serveLedger, svc wire.Service, transport string, batch bool, shards, stripes int) (serveArm, error) {
+	v := proxy.NewValidator(proxy.Config{Stripes: stripes}, func(id ids.PhotoID) (*ledger.StatusProof, error) {
+		return svc.Status(id)
+	})
+	v.SetBatchQuery(func(_ ids.LedgerID, page []ids.PhotoID) ([]*ledger.StatusProof, error) {
+		return svc.StatusBatch(page)
+	})
+
+	lats := make([][]time.Duration, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker deterministic draw sequence: worker w requests
+			// the same pages in every arm, so arms differ only in path.
+			rng := rand.New(rand.NewSource(parallel.SplitSeed(cfg.Seed, w)))
+			zipf := rand.NewZipf(rng, cfg.Zipf, 1, uint64(len(backend.ids)-1))
+			page := make([]ids.PhotoID, cfg.Batch)
+			lats[w] = make([]time.Duration, 0, cfg.Pages)
+			for p := 0; p < cfg.Pages; p++ {
+				for i := range page {
+					page[i] = backend.ids[zipf.Uint64()]
+				}
+				t0 := time.Now()
+				if batch {
+					if _, err := v.ValidateBatch(page); err != nil {
+						errs[w] = err
+						return
+					}
+				} else {
+					for _, id := range page {
+						if _, err := v.Validate(id); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return serveArm{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+
+	var all []time.Duration
+	for _, ws := range lats {
+		all = append(all, ws...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(p*float64(len(all)-1))].Microseconds()) / 1000
+	}
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	mean := 0.0
+	if len(all) > 0 {
+		mean = float64(sum.Microseconds()) / float64(len(all)) / 1000
+	}
+	totalIDs := float64(len(all) * cfg.Batch)
+	return serveArm{
+		Arm:       name,
+		Transport: transport,
+		Batch:     batch,
+		Shards:    shards,
+		Stripes:   stripes,
+		Pages:     len(all),
+		PageSize:  cfg.Batch,
+		IDsPerSec: totalIDs / wall.Seconds(),
+		P50Ms:     pct(0.50),
+		P95Ms:     pct(0.95),
+		P99Ms:     pct(0.99),
+		MeanMs:    mean,
+		WallMs:    float64(wall.Microseconds()) / 1000,
+	}, nil
+}
+
+// runServe executes every arm and writes the report.
+func runServe(cfg serveConfig) error {
+	single, err := setupServeLedger(cfg, 1)
+	if err != nil {
+		return err
+	}
+	defer single.close()
+	sharded, err := setupServeLedger(cfg, 0) // 0 → the default shard count
+	if err != nil {
+		return err
+	}
+	defer sharded.close()
+
+	arms := []struct {
+		name      string
+		backend   *serveLedger
+		svc       func(*serveLedger) wire.Service
+		transport string
+		batch     bool
+		shards    int
+		stripes   int
+	}{
+		{"http/per-id/single-lock", single, func(b *serveLedger) wire.Service { return b.http }, "http", false, 1, 1},
+		{"http/per-id/sharded", sharded, func(b *serveLedger) wire.Service { return b.http }, "http", false, 64, 16},
+		{"http/batch/single-lock", single, func(b *serveLedger) wire.Service { return b.http }, "http", true, 1, 1},
+		{"http/batch/sharded", sharded, func(b *serveLedger) wire.Service { return b.http }, "http", true, 64, 16},
+		{"direct/per-id/sharded", sharded, func(b *serveLedger) wire.Service { return b.direct }, "direct", false, 64, 16},
+		{"direct/batch/sharded", sharded, func(b *serveLedger) wire.Service { return b.direct }, "direct", true, 64, 16},
+	}
+
+	report := serveReport{
+		Seed:       cfg.Seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    cfg.Workers,
+		IDs:        cfg.IDs,
+		Revoked:    cfg.Revoked,
+		Zipf:       cfg.Zipf,
+		Note: "closed loop: workers validate pages of Zipf-drawn ids through a proxy Validator " +
+			"(cache and filter off) against a loopback ledger; per-id = one GET per image, " +
+			"batch = one StatusBatch POST per page",
+	}
+	var baseline, headline float64
+	for _, a := range arms {
+		res, err := runServeArm(cfg, a.name, a.backend, a.svc(a.backend), a.transport, a.batch, a.shards, a.stripes)
+		if err != nil {
+			return err
+		}
+		report.Arms = append(report.Arms, res)
+		switch a.name {
+		case "http/per-id/single-lock":
+			baseline = res.IDsPerSec
+		case "http/batch/sharded":
+			headline = res.IDsPerSec
+		}
+		fmt.Printf("%-26s %9.0f ids/s  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms\n",
+			res.Arm, res.IDsPerSec, res.P50Ms, res.P95Ms, res.P99Ms)
+	}
+	if baseline > 0 {
+		report.Speedup = headline / baseline
+	}
+	fmt.Printf("speedup (http/batch/sharded vs http/per-id/single-lock): %.2fx\n", report.Speedup)
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.Out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.Out)
+	return nil
+}

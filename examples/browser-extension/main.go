@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -109,6 +110,42 @@ func main() {
 	st := ps.Validator().Stats()
 	fmt.Printf("proxy answered: %d from filter (no ledger contact), %d from cache, %d from ledger\n",
 		st.FilterMisses, st.CacheHits, st.LedgerQueries)
+
+	// --- Batched scroll ---
+	// A real extension sees the whole viewport at once, so it validates
+	// the page in one POST instead of one GET per image.
+	fmt.Println("\nscrolling again, batched (one RPC for the whole page):")
+	req := proxy.ValidateBatchRequest{}
+	for _, e := range gallery {
+		req.IDs = append(req.IDs, e.id)
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	r, err := httpc.Post(proxyURL+"/v1/validate/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var batch proxy.ValidateBatchResponse
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		log.Fatal(err)
+	}
+	r.Body.Close()
+	batchEl := time.Since(start)
+	blocked = 0
+	for i, v := range batch.Results {
+		if !v.Displayable {
+			blocked++
+		}
+		if gallery[i].revoked != !v.Displayable {
+			fmt.Printf("  %s  << WRONG DECISION\n", gallery[i].id[:12]+"…")
+		}
+	}
+	fmt.Printf("  %d images in one POST: %d blocked, %s total (vs %s for %d per-image GETs)\n",
+		len(batch.Results), blocked, batchEl.Round(10*time.Microsecond), total.Round(10*time.Microsecond), checked)
+
 	fmt.Println("\nthe ledger never learns which user viewed what — it sees only the proxy (§4.2)")
 }
 

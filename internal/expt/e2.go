@@ -137,11 +137,14 @@ func E2LedgerLoad(scale Scale, seed int64) (*Report, error) {
 		cfg    proxy.Config
 		filter *filterChoice
 	}{
-		{"direct (no proxy)", proxy.Config{}, nil},
-		{"proxy cache", proxy.Config{CacheCapacity: nClaims / 10}, nil},
-		{"proxy filter (paper 2%)", proxy.Config{UseFilter: true}, &filterChoice{1, paperFilter}},
-		{"proxy filter (ledger snapshot)", proxy.Config{UseFilter: true}, &filterChoice{epoch, filter}},
-		{"proxy filter+cache", proxy.Config{UseFilter: true, CacheCapacity: nClaims / 10}, &filterChoice{epoch, filter}},
+		// Stripes is pinned to 1: this table models a single global LRU
+		// cache (hit rates shift slightly under per-stripe eviction);
+		// cache striping is load-tested separately by irs-bench -serve.
+		{"direct (no proxy)", proxy.Config{Stripes: 1}, nil},
+		{"proxy cache", proxy.Config{CacheCapacity: nClaims / 10, Stripes: 1}, nil},
+		{"proxy filter (paper 2%)", proxy.Config{UseFilter: true, Stripes: 1}, &filterChoice{1, paperFilter}},
+		{"proxy filter (ledger snapshot)", proxy.Config{UseFilter: true, Stripes: 1}, &filterChoice{epoch, filter}},
+		{"proxy filter+cache", proxy.Config{UseFilter: true, CacheCapacity: nClaims / 10, Stripes: 1}, &filterChoice{epoch, filter}},
 	}
 	var direct uint64
 	for _, arm := range arms {

@@ -196,3 +196,19 @@ func (p PhotoID) Uint64Pair() (hi, lo uint64) {
 	b := p.Bytes()
 	return binary.BigEndian.Uint64(b[:8]), binary.BigEndian.Uint64(b[8:])
 }
+
+// Hash64 mixes the identifier into a single well-distributed uint64.
+// The ledger's shard selection and the proxy's cache/singleflight
+// striping key off this value, so the mix must spread IDs evenly even
+// though the high 32 bits (the ledger ID) are constant within one
+// ledger. splitmix64-style finalization over both halves.
+func (p PhotoID) Hash64() uint64 {
+	hi, lo := p.Uint64Pair()
+	x := hi*0x9e3779b97f4a7c15 + lo
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // Compaction: the write-ahead log grows without bound under claim and
@@ -22,27 +23,37 @@ const snapshotFile = "snapshot.json"
 
 // Compact persists a state snapshot and truncates the WAL. It is a
 // no-op for in-memory ledgers.
+//
+// Every shard is read-locked in index order for the duration, freezing
+// all mutation (mutators append to the WAL under their shard's write
+// lock), so the snapshot and the truncation cover exactly the same
+// state. Entries are sorted by identifier bytes, making snapshot.json
+// byte-stable at any shard count — the old single-map code serialized
+// Go's arbitrary map order.
 func (l *Ledger) Compact() error {
 	if l.wal == nil {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	unlock := l.lockAllShards()
+	defer unlock()
 
-	entries := make([]walEntry, 0, len(l.records))
-	for _, rec := range l.records {
-		entries = append(entries, walEntry{
-			T:         "claim",
-			ID:        rec.ID.String(),
-			PubKey:    rec.PubKey,
-			HashSig:   rec.HashSig,
-			Hash:      rec.ContentHash[:],
-			Token:     rec.Timestamp.Marshal(),
-			State:     int(rec.State),
-			Custodial: rec.Custodial,
-			Seq:       rec.OpSeq,
-		})
+	var entries []walEntry
+	for i := range l.shards {
+		for _, rec := range l.shards[i].records {
+			entries = append(entries, walEntry{
+				T:         "claim",
+				ID:        rec.ID.String(),
+				PubKey:    rec.PubKey,
+				HashSig:   rec.HashSig,
+				Hash:      rec.ContentHash[:],
+				Token:     rec.Timestamp.Marshal(),
+				State:     int(rec.State),
+				Custodial: rec.Custodial,
+				Seq:       rec.OpSeq,
+			})
+		}
 	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].ID < entries[b].ID })
 	dir := filepath.Dir(l.wal.path)
 	tmp := filepath.Join(dir, snapshotFile+".tmp")
 	f, err := os.Create(tmp)
@@ -77,6 +88,8 @@ func (l *Ledger) Compact() error {
 
 // truncateAll empties the log file and resets the writer.
 func (w *wal) truncateAll() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
@@ -117,8 +130,8 @@ func (l *Ledger) WALSize() (int64, error) {
 	if l.wal == nil {
 		return 0, nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.wal.mu.Lock()
+	defer l.wal.mu.Unlock()
 	if err := l.wal.w.Flush(); err != nil {
 		return 0, err
 	}

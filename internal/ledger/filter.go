@@ -36,9 +36,24 @@ func FilterKey(id ids.PhotoID) uint64 {
 // current revoked population (minimum 1024 keys so early epochs stay
 // delta-compatible as the population grows within a factor of the
 // floor).
+//
+// The revoked set is collected shard by shard in fixed index order.
+// Bloom insertion is an order-insensitive bit-OR, so the published
+// filter is byte-identical to a single-map build over the same
+// population at any shard count.
 func (l *Ledger) BuildSnapshot() (seq uint64, err error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	var keys []uint64
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.RLock()
+		for id := range sh.revoked {
+			keys = append(keys, FilterKey(id))
+		}
+		sh.mu.RUnlock()
+	}
+
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
 	// Sizing with hysteresis: deltas require identical filter
 	// parameters across epochs, so the previous size is reused as long
 	// as the current revoked population still fits it at the target
@@ -46,7 +61,7 @@ func (l *Ledger) BuildSnapshot() (seq uint64, err error) {
 	// ledger resize — provisioning 50% headroom so the next resize is
 	// far away. A resize forces proxies through one full re-download
 	// (they detect it as a delta parameter mismatch).
-	n := uint64(len(l.revoked))
+	n := uint64(len(keys))
 	if n < 1024 {
 		n = 1024
 	}
@@ -67,8 +82,8 @@ func (l *Ledger) BuildSnapshot() (seq uint64, err error) {
 			return 0, err
 		}
 	}
-	for id := range l.revoked {
-		f.Add(FilterKey(id))
+	for _, k := range keys {
+		f.Add(k)
 	}
 	l.snapSeq++
 	l.snapshots[l.snapSeq] = f
@@ -90,8 +105,8 @@ var (
 // FilterSnapshot returns the latest snapshot epoch and a copy of its
 // filter.
 func (l *Ledger) FilterSnapshot() (uint64, *bloom.Filter, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.snapMu.RLock()
+	defer l.snapMu.RUnlock()
 	if len(l.snapOrder) == 0 {
 		return 0, nil, ErrNoSnapshot
 	}
@@ -105,8 +120,8 @@ func (l *Ledger) FilterSnapshot() (uint64, *bloom.Filter, error) {
 // between the epochs (population growth forced a resize), ErrMismatch
 // propagates and the caller falls back to a full fetch.
 func (l *Ledger) FilterDelta(fromSeq uint64) (delta []byte, latest uint64, err error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.snapMu.RLock()
+	defer l.snapMu.RUnlock()
 	if len(l.snapOrder) == 0 {
 		return nil, 0, ErrNoSnapshot
 	}

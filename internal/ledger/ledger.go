@@ -29,6 +29,12 @@
 //   - Bloom-filter snapshots of the currently revoked population with
 //     numbered epochs and delta updates (§4.4), served to proxies;
 //   - durable state via a write-ahead log plus snapshots (wal.go).
+//
+// The store is lock-striped (shard.go): status queries, claims, and
+// owner operations on different records never share a mutex, and
+// StatusBatch signs a whole page's proofs on the worker pool — the
+// serving path the bootstrap design (§4.2–4.4) leans on proxies to
+// scale.
 package ledger
 
 import (
@@ -42,6 +48,7 @@ import (
 
 	"irs/internal/bloom"
 	"irs/internal/ids"
+	"irs/internal/parallel"
 	"irs/internal/tsa"
 )
 
@@ -127,11 +134,17 @@ type Config struct {
 	// FilterHistory is how many past snapshots to retain for delta
 	// service; zero means 25 (a day of hourly snapshots, plus one).
 	FilterHistory int
+	// Shards is the lock-stripe count for the record store, rounded up
+	// to a power of two; zero means 64. Shards = 1 reproduces the old
+	// single-lock discipline and is the baseline arm of the serving
+	// bench.
+	Shards int
 	// Rand, when non-nil, supplies record-identifier entropy in place
 	// of crypto/rand. Production ledgers leave it nil (IDs must not
 	// reveal claim ordering); experiments inject a seeded stream so
 	// regenerated tables are byte-reproducible. Reads are serialized
-	// under the ledger lock, so a plain *math/rand.Rand is fine.
+	// under the identifier-issue lock, so a plain *math/rand.Rand is
+	// fine.
 	Rand io.Reader
 }
 
@@ -140,9 +153,13 @@ type Ledger struct {
 	cfg   Config
 	clock func() time.Time
 
-	mu      sync.RWMutex
-	records map[ids.PhotoID]*Record
-	revoked map[ids.PhotoID]bool // current revoked set (incl. permanent)
+	shards    []shard
+	shardMask uint64
+
+	// idMu serializes identifier issue so an injected cfg.Rand stream
+	// is consumed in claim order (the determinism contract experiments
+	// rely on; see shard.go).
+	idMu sync.Mutex
 
 	tsa     *tsa.Authority
 	signPub ed25519.PublicKey
@@ -150,7 +167,9 @@ type Ledger struct {
 
 	wal *wal
 
-	// Filter snapshot state.
+	// Filter snapshot state, guarded by snapMu (independent of the
+	// record shards).
+	snapMu     sync.RWMutex
 	snapSeq    uint64
 	snapshots  map[uint64]*bloom.Filter
 	snapOrder  []uint64
@@ -196,11 +215,12 @@ func New(cfg Config) (*Ledger, error) {
 	if hist == 0 {
 		hist = 25
 	}
+	cfg.Shards = normalizeShards(cfg.Shards)
 	l := &Ledger{
 		cfg:        cfg,
 		clock:      clock,
-		records:    make(map[ids.PhotoID]*Record),
-		revoked:    make(map[ids.PhotoID]bool),
+		shards:     newShards(cfg.Shards),
+		shardMask:  uint64(cfg.Shards - 1),
 		tsa:        authority,
 		signPub:    pub,
 		signKey:    priv,
@@ -289,8 +309,11 @@ func (l *Ledger) CustodialClaim(contentHash [32]byte, pub ed25519.PublicKey, has
 }
 
 // newID issues a record identifier from cfg.Rand if injected, else
-// crypto/rand. Callers must hold l.mu.
+// crypto/rand. idMu serializes reads so an injected stream is consumed
+// in claim order.
 func (l *Ledger) newID() (ids.PhotoID, error) {
+	l.idMu.Lock()
+	defer l.idMu.Unlock()
 	if l.cfg.Rand != nil {
 		return ids.NewFrom(l.cfg.ID, l.cfg.Rand)
 	}
@@ -316,25 +339,25 @@ func (l *Ledger) claim(contentHash [32]byte, pub ed25519.PublicKey, hashSig []by
 	if revokedAtBirth {
 		rec.State = StateRevoked
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	// Identifier generation sits inside the lock so an injected
-	// cfg.Rand stream is read in claim order (concurrent claims would
-	// otherwise interleave it nondeterministically).
 	id, err := l.newID()
 	if err != nil {
 		return Receipt{}, err
 	}
 	rec.ID = id
-	l.records[id] = rec
+	sh := l.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.records[id] = rec
 	if rec.State == StateRevoked {
-		l.revoked[id] = true
+		sh.revoked[id] = true
 	}
 	l.metrics.Claims.Add(1)
 	if l.wal != nil {
+		// Logged under the shard lock so a concurrent op on this claim
+		// cannot reach the WAL before the claim entry it depends on.
 		if err := l.wal.logClaim(rec); err != nil {
-			delete(l.records, id)
-			delete(l.revoked, id)
+			delete(sh.records, id)
+			delete(sh.revoked, id)
 			return Receipt{}, err
 		}
 	}
@@ -343,45 +366,76 @@ func (l *Ledger) claim(contentHash [32]byte, pub ed25519.PublicKey, hashSig []by
 
 // Apply executes a signed owner operation: sig must cover
 // OpMsg(id, op, record.OpSeq+1) under the claim's public key.
+//
+// Signature verification — up to 33 Ed25519 verifies when the replay
+// window is scanned — runs outside any lock: the record's public key
+// and sequence number are read under a read lock, checked, and then the
+// write lock is retaken with the sequence number re-validated before
+// mutating. A concurrent operation that advanced the sequence in the
+// gap surfaces as ErrBadOpSeq, exactly as if it had been serialized
+// first.
 func (l *Ledger) Apply(id ids.PhotoID, op Op, sig []byte) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	rec, ok := l.records[id]
-	if !ok {
-		return ErrNotFound
-	}
-	if rec.State == StatePermanentlyRevoked {
-		return ErrPermanent
+	if op != OpRevoke && op != OpUnrevoke {
+		return fmt.Errorf("ledger: unknown op %d", op)
 	}
 	if op == OpRevoke && l.cfg.NonRevocable {
 		return ErrNonRevocable
 	}
-	next := rec.OpSeq + 1
-	if !ed25519.Verify(rec.PubKey, opMsg(id, op, next), sig) {
+	sh := l.shardFor(id)
+
+	sh.mu.RLock()
+	rec, ok := sh.records[id]
+	var pub ed25519.PublicKey
+	var seq uint64
+	var state State
+	if ok {
+		pub = rec.PubKey // immutable after claim; safe to share
+		seq = rec.OpSeq
+		state = rec.State
+	}
+	sh.mu.RUnlock()
+	if !ok {
+		return ErrNotFound
+	}
+	if state == StatePermanentlyRevoked {
+		return ErrPermanent
+	}
+
+	next := seq + 1
+	if !ed25519.Verify(pub, opMsg(id, op, next), sig) {
 		// Distinguish replay (valid signature over an old sequence
 		// number) from a plainly bad signature, for operator
 		// diagnostics. Scan a bounded window of recent sequence numbers.
 		low := uint64(1)
-		if rec.OpSeq > 32 {
-			low = rec.OpSeq - 32
+		if seq > 32 {
+			low = seq - 32
 		}
-		for seq := rec.OpSeq; seq >= low; seq-- {
-			if ed25519.Verify(rec.PubKey, opMsg(id, op, seq), sig) {
+		for s := seq; s >= low; s-- {
+			if ed25519.Verify(pub, opMsg(id, op, s), sig) {
 				return ErrBadOpSeq
 			}
 		}
 		return ErrBadSignature
 	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec.State == StatePermanentlyRevoked {
+		return ErrPermanent
+	}
+	if rec.OpSeq != seq {
+		// A concurrent operation consumed this sequence number while we
+		// verified; the signature no longer covers OpSeq+1.
+		return ErrBadOpSeq
+	}
 	prev := rec.State
 	switch op {
 	case OpRevoke:
 		rec.State = StateRevoked
-		l.revoked[id] = true
+		sh.revoked[id] = true
 	case OpUnrevoke:
 		rec.State = StateActive
-		delete(l.revoked, id)
-	default:
-		return fmt.Errorf("ledger: unknown op %d", op)
+		delete(sh.revoked, id)
 	}
 	rec.OpSeq = next
 	l.metrics.Ops.Add(1)
@@ -390,9 +444,9 @@ func (l *Ledger) Apply(id ids.PhotoID, op Op, sig []byte) error {
 			rec.State = prev
 			rec.OpSeq = next - 1
 			if prev == StateRevoked {
-				l.revoked[id] = true
+				sh.revoked[id] = true
 			} else {
-				delete(l.revoked, id)
+				delete(sh.revoked, id)
 			}
 			return err
 		}
@@ -410,20 +464,21 @@ func (l *Ledger) PermanentRevoke(id ids.PhotoID) error {
 	if l.cfg.NonRevocable {
 		return ErrNonRevocable
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	rec, ok := l.records[id]
+	sh := l.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.records[id]
 	if !ok {
 		return ErrNotFound
 	}
 	prev := rec.State
 	rec.State = StatePermanentlyRevoked
-	l.revoked[id] = true
+	sh.revoked[id] = true
 	if l.wal != nil {
 		if err := l.wal.logPermanent(id); err != nil {
 			rec.State = prev
 			if prev != StateRevoked && prev != StatePermanentlyRevoked {
-				delete(l.revoked, id)
+				delete(sh.revoked, id)
 			}
 			return err
 		}
@@ -436,23 +491,80 @@ func (l *Ledger) PermanentRevoke(id ids.PhotoID) error {
 // photo has not been revoked" (§3.1). Unknown identifiers yield a signed
 // StateUnknown proof, so negative answers are also attributable.
 func (l *Ledger) Status(id ids.PhotoID) (*StatusProof, error) {
-	l.mu.RLock()
-	rec, ok := l.records[id]
+	sh := l.shardFor(id)
+	sh.mu.RLock()
+	rec, ok := sh.records[id]
 	var st State
 	if ok {
 		st = rec.State
 	}
-	l.mu.RUnlock()
+	sh.mu.RUnlock()
 	l.metrics.Queries.Add(1)
 	return l.signStatus(id, st), nil
+}
+
+// StatusBatch answers one validation query per identifier, in input
+// order — the ledger half of the batch RPC that lets a page load
+// resolve dozens of photos in one round trip. States are read with one
+// lock acquisition per touched shard and the Ed25519 proof signatures
+// are produced on the worker pool; all proofs in a batch share one
+// IssuedAt instant, so a batch is exactly as fresh as its slowest
+// member would have been.
+func (l *Ledger) StatusBatch(batch []ids.PhotoID) ([]*StatusProof, error) {
+	n := len(batch)
+	if n == 0 {
+		return nil, nil
+	}
+	// Partition input indices by shard so each shard is locked once.
+	shardOf := make([]uint64, n)
+	counts := make([]int, len(l.shards))
+	for i, id := range batch {
+		s := id.Hash64() & l.shardMask
+		shardOf[i] = s
+		counts[s]++
+	}
+	offsets := make([]int, len(l.shards)+1)
+	for s, c := range counts {
+		offsets[s+1] = offsets[s] + c
+	}
+	grouped := make([]int, n) // input indices, grouped by shard
+	fill := append([]int(nil), offsets[:len(l.shards)]...)
+	for i := range batch {
+		s := shardOf[i]
+		grouped[fill[s]] = i
+		fill[s]++
+	}
+	states := make([]State, n)
+	for s := range l.shards {
+		lo, hi := offsets[s], offsets[s+1]
+		if lo == hi {
+			continue
+		}
+		sh := &l.shards[s]
+		sh.mu.RLock()
+		for _, i := range grouped[lo:hi] {
+			if rec, ok := sh.records[batch[i]]; ok {
+				states[i] = rec.State
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	l.metrics.Queries.Add(uint64(n))
+	at := l.clock().UTC()
+	proofs := make([]*StatusProof, n)
+	parallel.Do(n, func(i int) {
+		proofs[i] = l.signStatusAt(batch[i], states[i], at)
+	})
+	return proofs, nil
 }
 
 // Record returns a copy of the stored claim record; the appeals process
 // uses it to fetch the contested claim's public key and timestamp.
 func (l *Ledger) Record(id ids.PhotoID) (Record, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	rec, ok := l.records[id]
+	sh := l.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.records[id]
 	if !ok {
 		return Record{}, ErrNotFound
 	}
@@ -464,9 +576,14 @@ func (l *Ledger) Record(id ids.PhotoID) (Record, error) {
 
 // Count returns total claims and currently revoked claims.
 func (l *Ledger) Count() (claims, revoked int) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.records), len(l.revoked)
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.RLock()
+		claims += len(sh.records)
+		revoked += len(sh.revoked)
+		sh.mu.RUnlock()
+	}
+	return claims, revoked
 }
 
 // Close releases persistence resources.

@@ -35,7 +35,13 @@ func (p *StatusProof) canonical() []byte {
 
 // signStatus builds and signs a proof at the current clock.
 func (l *Ledger) signStatus(id ids.PhotoID, st State) *StatusProof {
-	p := &StatusProof{ID: id, State: st, IssuedAt: l.clock().UTC()}
+	return l.signStatusAt(id, st, l.clock().UTC())
+}
+
+// signStatusAt builds and signs a proof at an explicit instant;
+// StatusBatch stamps a whole batch with one clock read.
+func (l *Ledger) signStatusAt(id ids.PhotoID, st State, at time.Time) *StatusProof {
+	p := &StatusProof{ID: id, State: st, IssuedAt: at}
 	p.Sig = ed25519.Sign(l.signKey, p.canonical())
 	return p
 }

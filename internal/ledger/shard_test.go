@@ -1,0 +1,339 @@
+package ledger
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"fmt"
+	mrand "math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"irs/internal/ids"
+)
+
+// TestShardedConcurrencyWithWAL hammers every mutating and reading
+// entry point at once with durability on; run under -race this is the
+// shard layer's main safety net.
+func TestShardedConcurrencyWithWAL(t *testing.T) {
+	dir := t.TempDir()
+	l, err := New(Config{ID: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-claim a population for the op/status goroutines to chew on.
+	const pre = 64
+	o := newOwner(t)
+	preIDs := make([]ids.PhotoID, pre)
+	for i := 0; i < pre; i++ {
+		preIDs[i] = o.claim(t, l, hashOf(fmt.Sprintf("pre-%d", i)), false).ID
+	}
+
+	const claimers, workers, iters = 4, 4, 50
+	var wg sync.WaitGroup
+	for g := 0; g < claimers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			own := newOwner(t)
+			for i := 0; i < iters; i++ {
+				h := hashOf(fmt.Sprintf("claim-%d-%d", g, i))
+				if _, err := l.Claim(h, own.pub, ed25519.Sign(own.priv, ClaimMsg(h)), i%3 == 0); err != nil {
+					t.Errorf("claim: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine owns a disjoint slice of the pre-claimed
+			// ids so op sequences advance without ErrBadOpSeq noise.
+			for i := 0; i < iters; i++ {
+				id := preIDs[(g*iters+i)%pre]
+				rec, err := l.Record(id)
+				if err != nil {
+					t.Errorf("record: %v", err)
+					return
+				}
+				op := OpRevoke
+				if rec.State == StateRevoked {
+					op = OpUnrevoke
+				}
+				err = l.Apply(id, op, o.signOp(id, op, rec.OpSeq+1))
+				if err != nil && err != ErrBadOpSeq {
+					t.Errorf("apply: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			page := make([]ids.PhotoID, 16)
+			for i := 0; i < iters; i++ {
+				if _, err := l.Status(preIDs[(g+i)%pre]); err != nil {
+					t.Errorf("status: %v", err)
+					return
+				}
+				for j := range page {
+					page[j] = preIDs[(g*j+i)%pre]
+				}
+				proofs, err := l.StatusBatch(page)
+				if err != nil {
+					t.Errorf("status batch: %v", err)
+					return
+				}
+				for j, p := range proofs {
+					if p.ID != page[j] {
+						t.Errorf("batch proof %d attests %v, want %v", j, p.ID, page[j])
+						return
+					}
+				}
+				if i%10 == 0 {
+					if _, err := l.BuildSnapshot(); err != nil {
+						t.Errorf("snapshot: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	claims, _ := l.Count()
+	if want := pre + claimers*iters; claims != want {
+		t.Errorf("claims = %d, want %d", claims, want)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything above must be recoverable: reopen and compare counts.
+	l2, err := New(Config{ID: 1, Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	claims2, _ := l2.Count()
+	if claims2 != claims {
+		t.Errorf("recovered claims = %d, want %d", claims2, claims)
+	}
+}
+
+// seededLedger builds an in-memory ledger with a deterministic ID
+// stream and clock so two instances issue identical identifiers.
+func seededLedger(t *testing.T, shards int, seed int64) *Ledger {
+	t.Helper()
+	at := time.Date(2022, 11, 14, 12, 0, 0, 0, time.UTC)
+	l, err := New(Config{
+		ID:     1,
+		Shards: shards,
+		Clock:  func() time.Time { return at },
+		Rand:   mrand.New(mrand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// TestFilterSnapshotShardCountInvariant: the published filter bytes are
+// part of the protocol (proxies delta against them), so the shard count
+// must not leak into them.
+func TestFilterSnapshotShardCountInvariant(t *testing.T) {
+	o := newOwner(t)
+	build := func(shards int) []byte {
+		l := seededLedger(t, shards, 99)
+		for i := 0; i < 300; i++ {
+			o.claim(t, l, hashOf(fmt.Sprintf("photo-%d", i)), i%3 == 0)
+		}
+		if _, err := l.BuildSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		_, f, err := l.FilterSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Marshal()
+	}
+	one := build(1)
+	many := build(64)
+	if !bytes.Equal(one, many) {
+		t.Errorf("filter snapshot differs between 1 and 64 shards (%d vs %d bytes)", len(one), len(many))
+	}
+}
+
+// TestWALReplayShardCountInvariant: state logged under one shard count
+// must recover identically under another, and compaction must produce
+// byte-identical snapshots from it regardless of shard count.
+func TestWALReplayShardCountInvariant(t *testing.T) {
+	dirA := t.TempDir()
+	l, err := New(Config{ID: 1, Dir: dirA, Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newOwner(t)
+	var claimed []ids.PhotoID
+	for i := 0; i < 100; i++ {
+		r := o.claim(t, l, hashOf(fmt.Sprintf("wal-%d", i)), i%4 == 0)
+		claimed = append(claimed, r.ID)
+	}
+	for i, id := range claimed {
+		if i%5 != 0 {
+			continue
+		}
+		rec, err := l.Record(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.State == StateActive {
+			if err := l.Apply(id, OpRevoke, o.signOp(id, OpRevoke, rec.OpSeq+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same log, two shard counts.
+	dirB := t.TempDir()
+	data, err := os.ReadFile(filepath.Join(dirA, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirB, "wal.log"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lA, err := New(Config{ID: 1, Dir: dirA, Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lA.Close()
+	lB, err := New(Config{ID: 1, Dir: dirB, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lB.Close()
+
+	for _, id := range claimed {
+		ra, errA := lA.Record(id)
+		rb, errB := lB.Record(id)
+		if errA != nil || errB != nil {
+			t.Fatalf("record %v: %v / %v", id, errA, errB)
+		}
+		if ra.State != rb.State || ra.OpSeq != rb.OpSeq || ra.ContentHash != rb.ContentHash {
+			t.Fatalf("record %v diverges between shard counts: %+v vs %+v", id, ra, rb)
+		}
+	}
+	if err := lA.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lB.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	snapA, err := os.ReadFile(filepath.Join(dirA, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapB, err := os.ReadFile(filepath.Join(dirB, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapA, snapB) {
+		t.Error("compacted snapshots differ between 1 and 64 shards")
+	}
+}
+
+// TestStatusBatchMatchesSerial: with a pinned clock, batch proofs must
+// be byte-identical to the serial Status path — same states, same
+// IssuedAt, same signatures.
+func TestStatusBatchMatchesSerial(t *testing.T) {
+	l := seededLedger(t, 64, 7)
+	o := newOwner(t)
+	var batch []ids.PhotoID
+	for i := 0; i < 40; i++ {
+		batch = append(batch, o.claim(t, l, hashOf(fmt.Sprintf("sb-%d", i)), i%2 == 0).ID)
+	}
+	unknown := mustID(t)
+	batch = append(batch, unknown, batch[0]) // unknown + duplicate
+
+	proofs, err := l.StatusBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proofs) != len(batch) {
+		t.Fatalf("got %d proofs for %d ids", len(proofs), len(batch))
+	}
+	for i, id := range batch {
+		serial, err := l.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(proofs[i].Marshal(), serial.Marshal()) {
+			t.Errorf("proof %d (%v) differs from serial Status", i, id)
+		}
+	}
+	if proofs[len(batch)-2].State != StateUnknown {
+		t.Errorf("unknown id state = %v", proofs[len(batch)-2].State)
+	}
+}
+
+// TestStatusBatchEmpty covers the trivial edge.
+func TestStatusBatchEmpty(t *testing.T) {
+	l := newLedger(t)
+	proofs, err := l.StatusBatch(nil)
+	if err != nil || proofs != nil {
+		t.Errorf("empty batch: %v, %v", proofs, err)
+	}
+}
+
+// BenchmarkServingStatus measures the per-identifier validation path.
+func BenchmarkServingStatus(b *testing.B) {
+	l, population := benchLedger(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Status(population[i%len(population)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingStatusBatch measures the batched path at the browser
+// page size.
+func BenchmarkServingStatusBatch(b *testing.B) {
+	l, population := benchLedger(b)
+	page := make([]ids.PhotoID, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range page {
+			page[j] = population[(i*len(page)+j)%len(population)]
+		}
+		if _, err := l.StatusBatch(page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLedger(b *testing.B) (*Ledger, []ids.PhotoID) {
+	b.Helper()
+	l, err := New(Config{ID: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	o := newOwner(b)
+	population := make([]ids.PhotoID, 512)
+	for i := range population {
+		population[i] = o.claim(b, l, hashOf(fmt.Sprintf("bench-%d", i)), i%8 == 0).ID
+	}
+	return l, population
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"irs/internal/ids"
 	"irs/internal/tsa"
@@ -42,6 +43,11 @@ type walEntry struct {
 }
 
 type wal struct {
+	// mu serializes appends and file maintenance. Mutators append while
+	// holding their record's shard write lock, so per-record entry
+	// order (claim before its ops) is fixed by the shard lock; mu only
+	// keeps interleaved appends from different shards from tearing.
+	mu   sync.Mutex
 	path string
 	f    *os.File
 	w    *bufio.Writer
@@ -101,6 +107,8 @@ func (w *wal) replay(l *Ledger) error {
 	return nil
 }
 
+// applyEntry replays one entry into the (single-threaded, pre-serving)
+// ledger shards; no locks are taken.
 func applyEntry(l *Ledger, e *walEntry) error {
 	switch e.T {
 	case "claim":
@@ -127,26 +135,28 @@ func applyEntry(l *Ledger, e *walEntry) error {
 			OpSeq: e.Seq,
 		}
 		copy(rec.ContentHash[:], e.Hash)
-		l.records[id] = rec
+		sh := l.shardFor(id)
+		sh.records[id] = rec
 		if rec.State == StateRevoked || rec.State == StatePermanentlyRevoked {
-			l.revoked[id] = true
+			sh.revoked[id] = true
 		}
 	case "op":
 		id, err := ids.Parse(e.ID)
 		if err != nil {
 			return err
 		}
-		rec, ok := l.records[id]
+		sh := l.shardFor(id)
+		rec, ok := sh.records[id]
 		if !ok {
 			return fmt.Errorf("op for unknown claim %s", e.ID)
 		}
 		switch Op(e.Op) {
 		case OpRevoke:
 			rec.State = StateRevoked
-			l.revoked[id] = true
+			sh.revoked[id] = true
 		case OpUnrevoke:
 			rec.State = StateActive
-			delete(l.revoked, id)
+			delete(sh.revoked, id)
 		default:
 			return fmt.Errorf("unknown op %d in wal", e.Op)
 		}
@@ -156,12 +166,13 @@ func applyEntry(l *Ledger, e *walEntry) error {
 		if err != nil {
 			return err
 		}
-		rec, ok := l.records[id]
+		sh := l.shardFor(id)
+		rec, ok := sh.records[id]
 		if !ok {
 			return fmt.Errorf("perm for unknown claim %s", e.ID)
 		}
 		rec.State = StatePermanentlyRevoked
-		l.revoked[id] = true
+		sh.revoked[id] = true
 	default:
 		return fmt.Errorf("unknown wal entry type %q", e.T)
 	}
@@ -169,6 +180,8 @@ func applyEntry(l *Ledger, e *walEntry) error {
 }
 
 func (w *wal) append(e *walEntry) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if err := w.enc.Encode(e); err != nil {
 		return fmt.Errorf("ledger: wal append: %w", err)
 	}
@@ -201,6 +214,8 @@ func (w *wal) logPermanent(id ids.PhotoID) error {
 
 // Sync flushes buffered appends to stable storage.
 func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
@@ -222,7 +237,5 @@ func (l *Ledger) Sync() error {
 	if l.wal == nil {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	return l.wal.sync()
 }

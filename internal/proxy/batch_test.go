@@ -1,0 +1,337 @@
+package proxy
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"irs/internal/bloom"
+	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/wire"
+)
+
+// batchEnv is a two-validator rig over one fake ledger: pages pushed
+// through seq one Validate at a time and through bat as ValidateBatch
+// calls must agree on every Result and every Stats counter.
+type batchEnv struct {
+	fl  *fakeLedger
+	seq *Validator
+	bat *Validator
+}
+
+func newBatchEnv(t *testing.T, cfg Config) *batchEnv {
+	t.Helper()
+	fl := newFakeLedger()
+	e := &batchEnv{fl: fl}
+	e.seq = NewValidator(cfg, fl.query)
+	e.bat = NewValidator(cfg, fl.query)
+	e.bat.SetBatchQuery(func(_ ids.LedgerID, batch []ids.PhotoID) ([]*ledger.StatusProof, error) {
+		out := make([]*ledger.StatusProof, len(batch))
+		for i, id := range batch {
+			p, err := fl.query(id)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	})
+	return e
+}
+
+// runPage drives both validators and compares.
+func (e *batchEnv) runPage(t *testing.T, page []ids.PhotoID) {
+	t.Helper()
+	want := make([]Result, len(page))
+	for i, id := range page {
+		r, err := e.seq.Validate(id)
+		if err != nil {
+			t.Fatalf("sequential validate: %v", err)
+		}
+		want[i] = r
+	}
+	got, err := e.bat.ValidateBatch(page)
+	if err != nil {
+		t.Fatalf("batch validate: %v", err)
+	}
+	for i := range page {
+		if got[i].State != want[i].State || got[i].Source != want[i].Source {
+			t.Errorf("result %d: batch %v/%v, sequential %v/%v",
+				i, got[i].Source, got[i].State, want[i].Source, want[i].State)
+		}
+		if (got[i].Proof == nil) != (want[i].Proof == nil) {
+			t.Errorf("result %d: proof presence differs", i)
+		}
+		if got[i].Proof != nil && got[i].Proof.ID != page[i] {
+			t.Errorf("result %d: proof attests %v, want %v", i, got[i].Proof.ID, page[i])
+		}
+	}
+	if s, b := e.seq.Stats(), e.bat.Stats(); s != b {
+		t.Errorf("stats diverge: sequential %+v, batch %+v", s, b)
+	}
+}
+
+// TestValidateBatchMatchesSequential is the equivalence contract: same
+// Results, same counters, across filter hits, cache hits, misses, and
+// in-page duplicates.
+func TestValidateBatchMatchesSequential(t *testing.T) {
+	e := newBatchEnv(t, Config{UseFilter: true, CacheCapacity: 64, CacheTTL: time.Hour})
+
+	var active, revoked []ids.PhotoID
+	for i := 0; i < 20; i++ {
+		id := mustNewID(t, 1)
+		e.fl.states[id] = ledger.StateActive
+		active = append(active, id)
+	}
+	for i := 0; i < 5; i++ {
+		id := mustNewID(t, 1)
+		e.fl.states[id] = ledger.StateRevoked
+		revoked = append(revoked, id)
+	}
+	f, err := bloom.NewWithEstimate(64, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range revoked {
+		f.Add(ledger.FilterKey(id))
+	}
+	e.seq.SetFilter(1, 1, f.Clone())
+	e.bat.SetFilter(1, 1, f.Clone())
+
+	// Page 1: mixes filter answers, ledger queries, and duplicates
+	// (first occurrence → ledger, repeats → the just-cached proof).
+	page := []ids.PhotoID{
+		active[0], revoked[0], active[1], revoked[0], active[0],
+		revoked[1], revoked[2], active[2], revoked[1],
+	}
+	e.runPage(t, page)
+	// Page 2 re-traverses page 1 plus fresh ids: now mostly cache hits.
+	e.runPage(t, append(append([]ids.PhotoID{}, page...), revoked[3], active[3]))
+}
+
+// TestValidateBatchMatchesSequentialNoCache covers the cache-disabled
+// regime (every must-query occurrence is a ledger answer).
+func TestValidateBatchMatchesSequentialNoCache(t *testing.T) {
+	e := newBatchEnv(t, Config{})
+	a, b := mustNewID(t, 1), mustNewID(t, 1)
+	e.fl.states[a] = ledger.StateActive
+	e.fl.states[b] = ledger.StateRevoked
+	e.runPage(t, []ids.PhotoID{a, b, a, a, b})
+}
+
+// TestValidateBatchFallbackPerID: without a BatchQueryFunc the batch
+// path resolves per id but keeps the same results and counters.
+func TestValidateBatchFallbackPerID(t *testing.T) {
+	fl := newFakeLedger()
+	seq := NewValidator(Config{CacheCapacity: 16, CacheTTL: time.Hour}, fl.query)
+	bat := NewValidator(Config{CacheCapacity: 16, CacheTTL: time.Hour}, fl.query)
+	var page []ids.PhotoID
+	for i := 0; i < 6; i++ {
+		id := mustNewID(t, 1)
+		fl.states[id] = ledger.StateActive
+		page = append(page, id)
+	}
+	page = append(page, page[0])
+	want := make([]Result, len(page))
+	for i, id := range page {
+		r, err := seq.Validate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	got, err := bat.ValidateBatch(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range page {
+		if got[i].State != want[i].State || got[i].Source != want[i].Source {
+			t.Errorf("result %d: %v/%v vs %v/%v", i, got[i].Source, got[i].State, want[i].Source, want[i].State)
+		}
+	}
+	if s, b := seq.Stats(), bat.Stats(); s != b {
+		t.Errorf("stats diverge: %+v vs %+v", s, b)
+	}
+}
+
+// TestValidateBatchGroupsPerLedger: a mixed-ledger page produces one
+// upstream call per ledger, ids in first-appearance order.
+func TestValidateBatchGroupsPerLedger(t *testing.T) {
+	var mu sync.Mutex
+	calls := make(map[ids.LedgerID][]ids.PhotoID)
+	v := NewValidator(Config{}, nil)
+	v.SetBatchQuery(func(lid ids.LedgerID, batch []ids.PhotoID) ([]*ledger.StatusProof, error) {
+		mu.Lock()
+		calls[lid] = append(calls[lid], batch...)
+		mu.Unlock()
+		out := make([]*ledger.StatusProof, len(batch))
+		for i, id := range batch {
+			out[i] = &ledger.StatusProof{ID: id, State: ledger.StateActive, IssuedAt: time.Now()}
+		}
+		return out, nil
+	})
+	l1a, l1b := mustNewID(t, 1), mustNewID(t, 1)
+	l2a := mustNewID(t, 2)
+	l3a := mustNewID(t, 3)
+	page := []ids.PhotoID{l1a, l2a, l3a, l1b, l2a}
+	res, err := v.ValidateBatch(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(page) {
+		t.Fatalf("got %d results", len(res))
+	}
+	if len(calls) != 3 {
+		t.Fatalf("upstream hit %d ledgers, want 3", len(calls))
+	}
+	if len(calls[1]) != 2 || calls[1][0] != l1a || calls[1][1] != l1b {
+		t.Errorf("ledger 1 saw %v, want [%v %v]", calls[1], l1a, l1b)
+	}
+	if len(calls[2]) != 1 || calls[2][0] != l2a {
+		t.Errorf("ledger 2 saw %v (duplicate not collapsed?)", calls[2])
+	}
+}
+
+// TestValidateBatchUpstreamErrors: failures and malformed upstream
+// responses surface as errors, not silent wrong answers.
+func TestValidateBatchUpstreamErrors(t *testing.T) {
+	id := mustNewID(t, 1)
+	cases := []struct {
+		name string
+		fn   BatchQueryFunc
+	}{
+		{"error", func(ids.LedgerID, []ids.PhotoID) ([]*ledger.StatusProof, error) {
+			return nil, errors.New("ledger down")
+		}},
+		{"short response", func(_ ids.LedgerID, b []ids.PhotoID) ([]*ledger.StatusProof, error) {
+			return nil, nil
+		}},
+		{"wrong id", func(_ ids.LedgerID, b []ids.PhotoID) ([]*ledger.StatusProof, error) {
+			wrong := mustNewID(t, 1)
+			out := make([]*ledger.StatusProof, len(b))
+			for i := range out {
+				out[i] = &ledger.StatusProof{ID: wrong, State: ledger.StateActive}
+			}
+			return out, nil
+		}},
+	}
+	for _, tc := range cases {
+		v := NewValidator(Config{}, nil)
+		v.SetBatchQuery(tc.fn)
+		if _, err := v.ValidateBatch([]ids.PhotoID{id}); err == nil {
+			t.Errorf("%s: error swallowed", tc.name)
+		}
+	}
+	// No query of any kind configured.
+	v := NewValidator(Config{}, nil)
+	if _, err := v.ValidateBatch([]ids.PhotoID{id}); !errors.Is(err, ErrNoQuery) {
+		t.Errorf("got %v, want ErrNoQuery", err)
+	}
+}
+
+// failingService returns an error from every filter endpoint; used to
+// test refresh error aggregation.
+type failingService struct {
+	wire.Loopback
+	err error
+}
+
+func (f *failingService) Filter() (uint64, *bloom.Filter, error)          { return 0, nil, f.err }
+func (f *failingService) FilterDelta(uint64) ([]byte, uint64, error)      { return nil, 0, f.err }
+func (f *failingService) Keys() (*wire.KeysResponse, error)               { return nil, f.err }
+func (f *failingService) Status(ids.PhotoID) (*ledger.StatusProof, error) { return nil, f.err }
+
+// TestRefreshFiltersCollectsErrors: one bad ledger must not stop the
+// others from refreshing, and the aggregate error must name it while
+// unwrapping to the lowest-numbered failure.
+func TestRefreshFiltersCollectsErrors(t *testing.T) {
+	good, err := ledger.New(ledger.Config{ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if _, err := good.BuildSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	dir := wire.NewDirectory()
+	dir.Register(2, &wire.Loopback{L: good})
+	dir.Register(3, &failingService{err: boom})
+	dir.Register(5, &failingService{err: errors.New("also down")})
+
+	v := NewValidator(Config{UseFilter: true}, nil)
+	err = v.RefreshFilters(dir)
+	if err == nil {
+		t.Fatal("refresh errors swallowed")
+	}
+	var re *RefreshError
+	if !errors.As(err, &re) {
+		t.Fatalf("error type %T", err)
+	}
+	if len(re.Failed) != 2 || re.Failed[0].Ledger != 3 || re.Failed[1].Ledger != 5 {
+		t.Fatalf("failed set %v", re.Failed)
+	}
+	if !errors.Is(err, boom) {
+		t.Error("Unwrap chain does not reach the lowest-numbered ledger's error")
+	}
+	if v.Epoch(2) == 0 {
+		t.Error("healthy ledger did not refresh alongside the failures")
+	}
+}
+
+// BenchmarkServingValidate measures the proxy per-id hot path on a
+// cache-hitting workload (the common case once a page is warm).
+func BenchmarkServingValidate(b *testing.B) {
+	v, population := benchValidator(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Validate(population[i%len(population)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingValidateBatch measures the batched proxy path at the
+// browser page size.
+func BenchmarkServingValidateBatch(b *testing.B) {
+	v, population := benchValidator(b)
+	page := make([]ids.PhotoID, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range page {
+			page[j] = population[(i*len(page)+j)%len(population)]
+		}
+		if _, err := v.ValidateBatch(page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchValidator(b *testing.B) (*Validator, []ids.PhotoID) {
+	b.Helper()
+	states := make(map[ids.PhotoID]ledger.State)
+	population := make([]ids.PhotoID, 512)
+	for i := range population {
+		id, err := ids.New(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		population[i] = id
+		states[id] = ledger.StateActive
+	}
+	query := func(id ids.PhotoID) (*ledger.StatusProof, error) {
+		return &ledger.StatusProof{ID: id, State: states[id], IssuedAt: time.Now()}, nil
+	}
+	v := NewValidator(Config{CacheCapacity: 1024, CacheTTL: time.Hour}, query)
+	v.SetBatchQuery(func(_ ids.LedgerID, batch []ids.PhotoID) ([]*ledger.StatusProof, error) {
+		out := make([]*ledger.StatusProof, len(batch))
+		for i, id := range batch {
+			out[i], _ = query(id)
+		}
+		return out, nil
+	})
+	return v, population
+}

@@ -14,7 +14,24 @@ import (
 // Entries expire after the TTL so that revocations propagate within a
 // bounded window — the paper explicitly accepts non-instantaneous
 // revocation (Nongoal #4); the TTL is that window.
+//
+// The cache is lock-striped by identifier hash so concurrent serving
+// workers touching different photos don't serialize on one mutex. Each
+// stripe runs its own LRU over an equal share of the capacity, which
+// approximates global LRU (the standard striped-cache trade: eviction
+// pressure is per-stripe, and the hash spreads hot entries uniformly).
+// Small caches collapse to a single stripe — below minStripeCap entries
+// per stripe the approximation gets visibly lumpy and exact global LRU
+// is what callers (and the pre-stripe tests) expect.
 type cache struct {
+	stripes []cacheStripe
+	mask    uint64
+}
+
+// minStripeCap is the smallest per-stripe capacity worth striping for.
+const minStripeCap = 64
+
+type cacheStripe struct {
 	mu       sync.Mutex
 	capacity int
 	ttl      time.Duration
@@ -29,75 +46,99 @@ type cacheEntry struct {
 	expires time.Time
 }
 
-func newCache(capacity int, ttl time.Duration, now func() time.Time) *cache {
-	return &cache{
-		capacity: capacity,
-		ttl:      ttl,
-		now:      now,
-		entries:  make(map[ids.PhotoID]*list.Element),
-		order:    list.New(),
+func newCache(capacity int, ttl time.Duration, now func() time.Time, stripes int) *cache {
+	n := normalizeStripes(stripes)
+	for n > 1 && capacity/n < minStripeCap {
+		n /= 2
 	}
+	c := &cache{stripes: make([]cacheStripe, n), mask: uint64(n - 1)}
+	per := 0
+	if capacity > 0 {
+		per = (capacity + n - 1) / n
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.capacity = per
+		s.ttl = ttl
+		s.now = now
+		s.entries = make(map[ids.PhotoID]*list.Element)
+		s.order = list.New()
+	}
+	return c
+}
+
+func (c *cache) stripe(id ids.PhotoID) *cacheStripe {
+	return &c.stripes[id.Hash64()&c.mask]
 }
 
 // get returns a live cached proof, or nil.
 func (c *cache) get(id ids.PhotoID) *ledger.StatusProof {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[id]
+	s := c.stripe(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[id]
 	if !ok {
 		return nil
 	}
 	e := el.Value.(*cacheEntry)
-	if c.now().After(e.expires) {
-		c.order.Remove(el)
-		delete(c.entries, id)
+	if s.now().After(e.expires) {
+		s.order.Remove(el)
+		delete(s.entries, id)
 		return nil
 	}
-	c.order.MoveToFront(el)
+	s.order.MoveToFront(el)
 	return e.proof
 }
 
-// put stores a proof, evicting the least recently used entry when full.
+// put stores a proof, evicting the stripe's least recently used entry
+// when full.
 func (c *cache) put(id ids.PhotoID, proof *ledger.StatusProof) {
-	if c.capacity <= 0 {
+	s := c.stripe(id)
+	if s.capacity <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[id]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[id]; ok {
 		e := el.Value.(*cacheEntry)
 		e.proof = proof
-		e.expires = c.now().Add(c.ttl)
-		c.order.MoveToFront(el)
+		e.expires = s.now().Add(s.ttl)
+		s.order.MoveToFront(el)
 		return
 	}
-	for len(c.entries) >= c.capacity {
-		back := c.order.Back()
+	for len(s.entries) >= s.capacity {
+		back := s.order.Back()
 		if back == nil {
 			break
 		}
-		c.order.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).id)
+		s.order.Remove(back)
+		delete(s.entries, back.Value.(*cacheEntry).id)
 	}
-	el := c.order.PushFront(&cacheEntry{id: id, proof: proof, expires: c.now().Add(c.ttl)})
-	c.entries[id] = el
+	el := s.order.PushFront(&cacheEntry{id: id, proof: proof, expires: s.now().Add(s.ttl)})
+	s.entries[id] = el
 }
 
 // invalidate drops an entry; used when a client reports a revocation it
 // learned out of band.
 func (c *cache) invalidate(id ids.PhotoID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[id]; ok {
-		c.order.Remove(el)
-		delete(c.entries, id)
+	s := c.stripe(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[id]; ok {
+		s.order.Remove(el)
+		delete(s.entries, id)
 	}
 }
 
 // len returns the live entry count (including not-yet-collected expired
 // entries).
 func (c *cache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	total := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		total += len(s.entries)
+		s.mu.Unlock()
+	}
+	return total
 }

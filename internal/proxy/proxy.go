@@ -13,11 +13,19 @@
 // The Validator core is transport-agnostic (the E2 experiment drives it
 // with an in-process query function and counts ledger queries); Server
 // in server.go exposes it over HTTP for the runnable binaries.
+//
+// Serving-path concurrency: the proof cache and the singleflight table
+// are lock-striped by identifier hash, and the per-ledger filter set is
+// a copy-on-write snapshot behind an atomic pointer, so the read path
+// (filter probe → cache probe) takes no shared lock and at most one
+// stripe lock. Config.Stripes = 1 restores the pre-stripe single-lock
+// layout; the serving benchmarks use that as the honest baseline.
 package proxy
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +33,7 @@ import (
 	"irs/internal/bloom"
 	"irs/internal/ids"
 	"irs/internal/ledger"
+	"irs/internal/parallel"
 	"irs/internal/wire"
 )
 
@@ -71,6 +80,11 @@ type Result struct {
 // HTTP server uses a wire.Directory; simulations count invocations.
 type QueryFunc func(ids.PhotoID) (*ledger.StatusProof, error)
 
+// BatchQueryFunc resolves many statuses against one ledger in a single
+// upstream round trip (wire.Service.StatusBatch). Proofs come back in
+// request order, one per identifier.
+type BatchQueryFunc func(lid ids.LedgerID, batch []ids.PhotoID) ([]*ledger.StatusProof, error)
+
 // Stats counts outcomes.
 type Stats struct {
 	Total         atomic.Uint64
@@ -98,24 +112,63 @@ type Config struct {
 	// UseFilter enables the Bloom-filter fast path. E2 turns it off for
 	// the baseline arm.
 	UseFilter bool
+	// Stripes is the lock-stripe count for the proof cache and the
+	// singleflight table; 0 means 16, other values round up to a power
+	// of two. 1 reproduces the pre-stripe single-lock behavior for
+	// baseline benchmarking.
+	Stripes int
 	// Clock supplies time; nil means time.Now.
 	Clock func() time.Time
 }
 
-// Validator is the proxy core. Safe for concurrent use.
-type Validator struct {
-	cfg   Config
-	query QueryFunc
-	cache *cache
+// defaultStripes matches a modest serving proxy: enough stripes that
+// 8–16 workers rarely collide, few enough that tiny caches still give
+// each stripe a useful LRU share.
+const defaultStripes = 16
 
-	mu      sync.RWMutex
+// normalizeStripes maps a configured stripe count to the power of two
+// actually used.
+func normalizeStripes(n int) int {
+	if n <= 0 {
+		n = defaultStripes
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// filterSet is an immutable snapshot of the per-ledger revocation
+// filters. Readers load it through an atomic pointer and probe without
+// locking; SetFilter publishes a fresh copy (filters change a few times
+// a minute at most — copy-on-write is cheap where it matters).
+type filterSet struct {
 	filters map[ids.LedgerID]*bloom.Filter
 	epochs  map[ids.LedgerID]uint64
+}
+
+// Validator is the proxy core. Safe for concurrent use.
+type Validator struct {
+	cfg        Config
+	query      QueryFunc
+	batchQuery BatchQueryFunc
+	cache      *cache
+
+	// fset is the current filter snapshot; setMu serializes writers.
+	fset  atomic.Pointer[filterSet]
+	setMu sync.Mutex
 
 	stats Stats
 
-	sfMu sync.Mutex
-	sf   map[ids.PhotoID]*inflight
+	// sf stripes the singleflight table by identifier hash.
+	sf     []sfStripe
+	sfMask uint64
+}
+
+type sfStripe struct {
+	mu sync.Mutex
+	m  map[ids.PhotoID]*inflight
 }
 
 type inflight struct {
@@ -132,38 +185,61 @@ func NewValidator(cfg Config, query QueryFunc) *Validator {
 	if cfg.CacheTTL == 0 {
 		cfg.CacheTTL = 5 * time.Minute
 	}
-	return &Validator{
-		cfg:     cfg,
-		query:   query,
-		cache:   newCache(cfg.CacheCapacity, cfg.CacheTTL, cfg.Clock),
+	n := normalizeStripes(cfg.Stripes)
+	v := &Validator{
+		cfg:    cfg,
+		query:  query,
+		cache:  newCache(cfg.CacheCapacity, cfg.CacheTTL, cfg.Clock, cfg.Stripes),
+		sf:     make([]sfStripe, n),
+		sfMask: uint64(n - 1),
+	}
+	for i := range v.sf {
+		v.sf[i].m = make(map[ids.PhotoID]*inflight)
+	}
+	v.fset.Store(&filterSet{
 		filters: make(map[ids.LedgerID]*bloom.Filter),
 		epochs:  make(map[ids.LedgerID]uint64),
-		sf:      make(map[ids.PhotoID]*inflight),
-	}
+	})
+	return v
 }
 
+// SetBatchQuery installs the grouped upstream resolver used by
+// ValidateBatch. Without one, batch validations fall back to per-ID
+// queries. Set before serving traffic; the field is not synchronized.
+func (v *Validator) SetBatchQuery(fn BatchQueryFunc) { v.batchQuery = fn }
+
 // SetFilter installs or replaces a ledger's revocation filter snapshot.
+// Readers racing with the swap see either the old or the new snapshot,
+// never a mix.
 func (v *Validator) SetFilter(id ids.LedgerID, epoch uint64, f *bloom.Filter) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.filters[id] = f
-	v.epochs[id] = epoch
+	v.setMu.Lock()
+	defer v.setMu.Unlock()
+	old := v.fset.Load()
+	next := &filterSet{
+		filters: make(map[ids.LedgerID]*bloom.Filter, len(old.filters)+1),
+		epochs:  make(map[ids.LedgerID]uint64, len(old.epochs)+1),
+	}
+	for k, val := range old.filters {
+		next.filters[k] = val
+	}
+	for k, val := range old.epochs {
+		next.epochs[k] = val
+	}
+	next.filters[id] = f
+	next.epochs[id] = epoch
+	v.fset.Store(next)
 }
 
 // Epoch returns the held filter epoch for a ledger (0 if none).
 func (v *Validator) Epoch(id ids.LedgerID) uint64 {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	return v.epochs[id]
+	return v.fset.Load().epochs[id]
 }
 
 // mightBeRevoked consults the per-ledger filters. Holding the issuing
 // ledger's filter and missing in it is the only "definitely not revoked"
 // answer; an absent filter means we cannot exclude revocation.
 func (v *Validator) mightBeRevoked(id ids.PhotoID) bool {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	f, ok := v.filters[id.Ledger]
+	f, ok := v.fset.Load().filters[id.Ledger]
 	if !ok {
 		return true
 	}
@@ -194,30 +270,166 @@ func (v *Validator) Validate(id ids.PhotoID) (Result, error) {
 	return Result{State: p.State, Source: SourceLedger, Proof: p}, nil
 }
 
+// ValidateBatch answers a page worth of identifiers, producing exactly
+// the Results and Stats a sequential Validate loop over batch would:
+// every occurrence counts toward Total; filter and cache answers count
+// per occurrence; of a must-query identifier's occurrences the first is
+// a ledger answer and the rest are cache hits (they would have hit the
+// proof the first occurrence cached). The upstream difference is the
+// point: unique must-query identifiers are grouped per ledger and
+// resolved in one StatusBatch round trip each, instead of one round
+// trip per identifier.
+func (v *Validator) ValidateBatch(batch []ids.PhotoID) ([]Result, error) {
+	results := make([]Result, len(batch))
+	var (
+		queryIDs []ids.PhotoID // unique must-query IDs, first-appearance order
+		occs     [][]int       // occurrence indices per unique ID
+		uniq     map[ids.PhotoID]int
+	)
+	for i, id := range batch {
+		v.stats.Total.Add(1)
+		if v.cfg.UseFilter && !v.mightBeRevoked(id) {
+			v.stats.FilterMisses.Add(1)
+			results[i] = Result{State: ledger.StateActive, Source: SourceFilter}
+			continue
+		}
+		if p := v.cache.get(id); p != nil {
+			v.stats.CacheHits.Add(1)
+			results[i] = Result{State: p.State, Source: SourceCache, Proof: p}
+			continue
+		}
+		if uniq == nil {
+			uniq = make(map[ids.PhotoID]int)
+		}
+		if j, ok := uniq[id]; ok {
+			occs[j] = append(occs[j], i)
+			continue
+		}
+		uniq[id] = len(queryIDs)
+		queryIDs = append(queryIDs, id)
+		occs = append(occs, []int{i})
+	}
+	if len(queryIDs) == 0 {
+		return results, nil
+	}
+	proofs, err := v.resolveBatch(queryIDs)
+	if err != nil {
+		return nil, err
+	}
+	for j, p := range proofs {
+		v.cache.put(queryIDs[j], p)
+		for k, i := range occs[j] {
+			if k == 0 || v.cfg.CacheCapacity <= 0 {
+				v.stats.LedgerQueries.Add(1)
+				results[i] = Result{State: p.State, Source: SourceLedger, Proof: p}
+			} else {
+				v.stats.CacheHits.Add(1)
+				results[i] = Result{State: p.State, Source: SourceCache, Proof: p}
+			}
+		}
+	}
+	return results, nil
+}
+
+// resolveBatch fetches proofs for unique identifiers, grouped by ledger
+// and chunked to the wire limit. Errors win by lowest group index, so
+// the (results, error) pair is deterministic at any worker count.
+func (v *Validator) resolveBatch(queryIDs []ids.PhotoID) ([]*ledger.StatusProof, error) {
+	if v.batchQuery == nil {
+		// Per-ID fallback, still collapsed through singleflight. The
+		// caller owns the LedgerQueries accounting.
+		return parallel.MapErr(queryIDs, func(_ int, id ids.PhotoID) (*ledger.StatusProof, error) {
+			return v.querySF(id, false)
+		})
+	}
+	type chunk struct {
+		lid  ids.LedgerID
+		idxs []int // indices into queryIDs
+	}
+	var chunks []chunk
+	gidx := make(map[ids.LedgerID]int)
+	groups := make([][]int, 0, 4)
+	var order []ids.LedgerID
+	for j, id := range queryIDs {
+		g, ok := gidx[id.Ledger]
+		if !ok {
+			g = len(groups)
+			gidx[id.Ledger] = g
+			groups = append(groups, nil)
+			order = append(order, id.Ledger)
+		}
+		groups[g] = append(groups[g], j)
+	}
+	for g, idxs := range groups {
+		for lo := 0; lo < len(idxs); lo += wire.MaxStatusBatch {
+			hi := lo + wire.MaxStatusBatch
+			if hi > len(idxs) {
+				hi = len(idxs)
+			}
+			chunks = append(chunks, chunk{lid: order[g], idxs: idxs[lo:hi]})
+		}
+	}
+	proofs := make([]*ledger.StatusProof, len(queryIDs))
+	_, err := parallel.MapErr(chunks, func(_ int, ch chunk) (struct{}, error) {
+		sub := make([]ids.PhotoID, len(ch.idxs))
+		for k, j := range ch.idxs {
+			sub[k] = queryIDs[j]
+		}
+		ps, err := v.batchQuery(ch.lid, sub)
+		if err != nil {
+			return struct{}{}, err
+		}
+		if len(ps) != len(sub) {
+			return struct{}{}, fmt.Errorf("proxy: ledger %d returned %d proofs for %d ids", ch.lid, len(ps), len(sub))
+		}
+		for k, j := range ch.idxs {
+			if ps[k] == nil || ps[k].ID != sub[k] {
+				return struct{}{}, fmt.Errorf("proxy: ledger %d returned a proof for the wrong id", ch.lid)
+			}
+			proofs[j] = ps[k]
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return proofs, nil
+}
+
 // queryOnce collapses concurrent queries for the same identifier into a
 // single upstream request — both a load and a privacy measure (the
 // ledger sees one aggregate query, §4.2).
 func (v *Validator) queryOnce(id ids.PhotoID) (*ledger.StatusProof, error) {
+	return v.querySF(id, true)
+}
+
+// querySF is the singleflight core; count says whether a performed
+// upstream call bumps LedgerQueries (the batch path counts occurrences
+// itself).
+func (v *Validator) querySF(id ids.PhotoID, count bool) (*ledger.StatusProof, error) {
 	if v.query == nil {
 		return nil, ErrNoQuery
 	}
-	v.sfMu.Lock()
-	if fl, ok := v.sf[id]; ok {
-		v.sfMu.Unlock()
+	s := &v.sf[id.Hash64()&v.sfMask]
+	s.mu.Lock()
+	if fl, ok := s.m[id]; ok {
+		s.mu.Unlock()
 		<-fl.done
 		return fl.proof, fl.err
 	}
 	fl := &inflight{done: make(chan struct{})}
-	v.sf[id] = fl
-	v.sfMu.Unlock()
+	s.m[id] = fl
+	s.mu.Unlock()
 
-	v.stats.LedgerQueries.Add(1)
+	if count {
+		v.stats.LedgerQueries.Add(1)
+	}
 	fl.proof, fl.err = v.query(id)
 	close(fl.done)
 
-	v.sfMu.Lock()
-	delete(v.sf, id)
-	v.sfMu.Unlock()
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
 	return fl.proof, fl.err
 }
 
@@ -243,25 +455,71 @@ func (v *Validator) ResetStats() {
 	v.stats.LedgerQueries.Store(0)
 }
 
+// LedgerError ties a filter-refresh failure to the ledger it came from.
+type LedgerError struct {
+	Ledger ids.LedgerID
+	Err    error
+}
+
+// Error implements the error interface.
+func (e *LedgerError) Error() string {
+	return fmt.Sprintf("proxy: refreshing ledger %d: %v", e.Ledger, e.Err)
+}
+
+// Unwrap exposes the underlying transport or protocol error.
+func (e *LedgerError) Unwrap() error { return e.Err }
+
+// RefreshError aggregates per-ledger refresh failures; ledgers that
+// refreshed fine stay refreshed.
+type RefreshError struct {
+	// Failed lists failures in ascending ledger order.
+	Failed []*LedgerError
+}
+
+// Error implements the error interface.
+func (e *RefreshError) Error() string {
+	if len(e.Failed) == 1 {
+		return e.Failed[0].Error()
+	}
+	return fmt.Sprintf("%v (and %d more ledgers failed)", e.Failed[0], len(e.Failed)-1)
+}
+
+// Unwrap yields the lowest-numbered ledger's error — the deterministic
+// "first error" regardless of refresh parallelism.
+func (e *RefreshError) Unwrap() error { return e.Failed[0] }
+
 // RefreshFilters pulls filter snapshots from every ledger in the
 // directory, using deltas when the proxy already holds an epoch and
 // falling back to full fetches when the delta is unavailable (expired
-// epoch or resized filter).
+// epoch or resized filter). Ledgers refresh in parallel; failures are
+// collected into a RefreshError naming each failed ledger, with the
+// lowest-numbered ledger's error as the deterministic Unwrap target.
 func (v *Validator) RefreshFilters(dir *wire.Directory) error {
-	var firstErr error
-	for lid, client := range dir.All() {
-		if err := v.refreshOne(lid, client); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("proxy: refreshing ledger %d: %w", lid, err)
+	all := dir.All()
+	lids := make([]ids.LedgerID, 0, len(all))
+	for lid := range all {
+		lids = append(lids, lid)
+	}
+	sort.Slice(lids, func(a, b int) bool { return lids[a] < lids[b] })
+	errs := parallel.Map(lids, func(_ int, lid ids.LedgerID) error {
+		return v.refreshOne(lid, all[lid])
+	})
+	var failed []*LedgerError
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, &LedgerError{Ledger: lids[i], Err: err})
 		}
 	}
-	return firstErr
+	if len(failed) == 0 {
+		return nil
+	}
+	return &RefreshError{Failed: failed}
 }
 
 func (v *Validator) refreshOne(lid ids.LedgerID, client wire.Service) error {
-	v.mu.RLock()
-	held := v.epochs[lid]
-	heldFilter := v.filters[lid]
-	v.mu.RUnlock()
+	set := v.fset.Load()
+	held := set.epochs[lid]
+	heldFilter := set.filters[lid]
 
 	if held > 0 && heldFilter != nil {
 		delta, latest, err := client.FilterDelta(held)

@@ -11,9 +11,10 @@ import (
 // Server exposes a Validator over HTTP — the service a browser
 // extension points at.
 //
-//	GET  /v1/validate?id=I → ValidateResponse
-//	POST /v1/refresh       → re-pull ledger filters (operator endpoint)
-//	GET  /v1/stats         → StatsSnapshot
+//	GET  /v1/validate?id=I  → ValidateResponse
+//	POST /v1/validate/batch → ValidateBatchResponse (page-load fan-in)
+//	POST /v1/refresh        → re-pull ledger filters (operator endpoint)
+//	GET  /v1/stats          → StatsSnapshot
 type Server struct {
 	v   *Validator
 	dir *wire.Directory
@@ -42,7 +43,15 @@ func NewServer(cfg Config, dir *wire.Directory) *Server {
 		}
 		return c.Status(id)
 	})
+	s.v.SetBatchQuery(func(lid ids.LedgerID, batch []ids.PhotoID) ([]*ledger.StatusProof, error) {
+		c, err := dir.ForLedger(lid)
+		if err != nil {
+			return nil, err
+		}
+		return c.StatusBatch(batch)
+	})
 	s.mux.HandleFunc("GET /v1/validate", s.handleValidate)
+	s.mux.HandleFunc("POST /v1/validate/batch", s.handleValidateBatch)
 	s.mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
@@ -76,6 +85,63 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Proof != nil {
 		resp.Proof = res.Proof.Marshal()
+	}
+	wire.WriteJSON(w, http.StatusOK, resp)
+}
+
+// ValidateBatchRequest is a page worth of identifiers; the extension
+// sends one of these per page instead of one GET per image.
+type ValidateBatchRequest struct {
+	IDs []string `json:"ids"`
+}
+
+// ValidateBatchResponse answers each requested identifier in order.
+type ValidateBatchResponse struct {
+	Results []ValidateResponse `json:"results"`
+}
+
+func (s *Server) handleValidateBatch(w http.ResponseWriter, r *http.Request) {
+	var req ValidateBatchRequest
+	if err := wire.ReadJSON(r.Body, &req); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.IDs) == 0 {
+		wire.WriteError(w, http.StatusBadRequest, "batch must name at least one id")
+		return
+	}
+	if len(req.IDs) > wire.MaxStatusBatch {
+		wire.WriteError(w, http.StatusBadRequest, "batch exceeds limit")
+		return
+	}
+	batch := make([]ids.PhotoID, len(req.IDs))
+	for i, raw := range req.IDs {
+		id, err := ids.Parse(raw)
+		if err != nil {
+			wire.WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		batch[i] = id
+	}
+	results, err := s.v.ValidateBatch(batch)
+	if err != nil {
+		if st := wire.ErrStatus(err); st != 0 {
+			wire.WriteError(w, st, err.Error())
+			return
+		}
+		wire.WriteError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	resp := &ValidateBatchResponse{Results: make([]ValidateResponse, len(results))}
+	for i, res := range results {
+		resp.Results[i] = ValidateResponse{
+			State:       res.State.String(),
+			Source:      res.Source.String(),
+			Displayable: res.State == ledger.StateActive,
+		}
+		if res.Proof != nil {
+			resp.Results[i].Proof = res.Proof.Marshal()
+		}
 	}
 	wire.WriteJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"irs/internal/ids"
+	"irs/internal/ledger"
+)
+
+// TestStatusBatchOverHTTP is the happy path: proofs come back in
+// request order, each verifiable against the ledger's signing key.
+func TestStatusBatchOverHTTP(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	k := newKeypair(t)
+	var batch []ids.PhotoID
+	for i := 0; i < 5; i++ {
+		batch = append(batch, k.claimVia(t, env.client, fmt.Sprintf("batch-%d", i), i%2 == 0).ID)
+	}
+	batch = append(batch, batch[0]) // duplicates are legal
+
+	proofs, err := env.client.StatusBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proofs) != len(batch) {
+		t.Fatalf("got %d proofs for %d ids", len(proofs), len(batch))
+	}
+	for i, p := range proofs {
+		if p.ID != batch[i] {
+			t.Errorf("proof %d attests %v, want %v", i, p.ID, batch[i])
+		}
+		want := ledger.StateActive
+		if i%2 == 0 && i < 5 {
+			want = ledger.StateRevoked
+		}
+		if i == 5 {
+			want = ledger.StateRevoked // duplicate of batch[0]
+		}
+		if p.State != want {
+			t.Errorf("proof %d state %v, want %v", i, p.State, want)
+		}
+		if err := ledger.VerifyProof(env.ledger.SigningKey(), p, p.IssuedAt, time.Minute); err != nil {
+			t.Errorf("proof %d does not verify: %v", i, err)
+		}
+	}
+	// Empty input short-circuits without a round trip.
+	if ps, err := env.client.StatusBatch(nil); err != nil || ps != nil {
+		t.Errorf("empty batch: %v, %v", ps, err)
+	}
+}
+
+// postRaw posts an arbitrary body to the batch endpoint and returns the
+// status code.
+func postRaw(t *testing.T, base string, body []byte) int {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/status/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestStatusBatchServerRejectsHostileBodies: the endpoint must 400 on
+// every malformed shape instead of panicking or part-answering.
+func TestStatusBatchServerRejectsHostileBodies(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	k := newKeypair(t)
+	good := k.claimVia(t, env.client, "hostile-anchor", false).ID
+
+	oversized := StatusBatchRequest{IDs: make([]string, MaxStatusBatch+1)}
+	for i := range oversized.IDs {
+		oversized.IDs[i] = good.String()
+	}
+	oversizedBody, err := json.Marshal(&oversized)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"not json", []byte("))) not json (((")},
+		{"wrong field", []byte(`{"identifiers":["x"]}`)},
+		{"empty list", []byte(`{"ids":[]}`)},
+		{"null list", []byte(`{"ids":null}`)},
+		{"unparseable id", []byte(`{"ids":["not-an-id"]}`)},
+		{"mixed good and bad ids", []byte(`{"ids":["` + good.String() + `","zzz"]}`)},
+		{"oversized batch", oversizedBody},
+		{"megabyte of ids", []byte(`{"ids":["` + strings.Repeat("A", 2<<20) + `"]}`)},
+	}
+	for _, tc := range cases {
+		if code := postRaw(t, env.server.URL, tc.body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+}
+
+// TestStatusBatchClientRefusesOversized: the client bound matches the
+// server's, so oversized batches fail before any bytes move.
+func TestStatusBatchClientRefusesOversized(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	batch := make([]ids.PhotoID, MaxStatusBatch+1)
+	for i := range batch {
+		batch[i] = hostileID(t)
+	}
+	if _, err := env.client.StatusBatch(batch); err == nil {
+		t.Error("oversized batch sent")
+	}
+}
+
+// TestStatusBatchClientAgainstHostileServers: short proof lists, wrong
+// identifiers, and garbage proof bytes must all be errors, never
+// fabricated validations.
+func TestStatusBatchClientAgainstHostileServers(t *testing.T) {
+	id := hostileID(t)
+	other := hostileID(t)
+	legit, err := ledger.New(ledger.Config{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legit.Close()
+	wrongProof, err := legit.Status(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	responses := []struct {
+		name string
+		body string
+	}{
+		{"garbage json", `{"proofs": [42`},
+		{"empty proof list", `{"proofs":[]}`},
+		{"too many proofs", `{"proofs":["aGk=","aGk="]}`},
+		{"garbage proof bytes", `{"proofs":["aGk="]}`},
+		{"proof for the wrong id", mustBatchBody(t, wrongProof.Marshal())},
+	}
+	for _, tc := range responses {
+		srv := hostileServer(t, http.StatusOK, "application/json", tc.body, nil)
+		c := NewClient(srv.URL, "")
+		if _, err := c.StatusBatch([]ids.PhotoID{id}); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func mustBatchBody(t *testing.T, proofs ...[]byte) string {
+	t.Helper()
+	data, err := json.Marshal(&StatusBatchResponse{Proofs: proofs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestLoopbackStatusBatchBound: the in-process adapter enforces the
+// same limit as the HTTP surface.
+func TestLoopbackStatusBatchBound(t *testing.T) {
+	l, err := ledger.New(ledger.Config{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lb := &Loopback{L: l}
+	if _, err := lb.StatusBatch(make([]ids.PhotoID, MaxStatusBatch+1)); err == nil {
+		t.Error("oversized loopback batch accepted")
+	}
+}

@@ -97,6 +97,42 @@ func (c *Client) Status(id ids.PhotoID) (*ledger.StatusProof, error) {
 	return ledger.UnmarshalProof(resp.Proof)
 }
 
+// StatusBatch validates up to MaxStatusBatch claims in one POST,
+// returning parsed proofs in request order. The response is rejected
+// unless it carries exactly one well-formed proof per requested
+// identifier, each attesting the identifier it was asked about.
+func (c *Client) StatusBatch(batch []ids.PhotoID) ([]*ledger.StatusProof, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	if len(batch) > MaxStatusBatch {
+		return nil, fmt.Errorf("wire: batch of %d exceeds limit %d", len(batch), MaxStatusBatch)
+	}
+	req := &StatusBatchRequest{IDs: make([]string, len(batch))}
+	for i, id := range batch {
+		req.IDs[i] = id.String()
+	}
+	var resp StatusBatchResponse
+	if err := c.postJSON("/v1/status/batch", req, &resp, nil); err != nil {
+		return nil, err
+	}
+	if len(resp.Proofs) != len(batch) {
+		return nil, fmt.Errorf("wire: server returned %d proofs for %d ids", len(resp.Proofs), len(batch))
+	}
+	proofs := make([]*ledger.StatusProof, len(batch))
+	for i, raw := range resp.Proofs {
+		p, err := ledger.UnmarshalProof(raw)
+		if err != nil {
+			return nil, fmt.Errorf("wire: server returned bad proof %d: %w", i, err)
+		}
+		if p.ID != batch[i] {
+			return nil, fmt.Errorf("wire: proof %d attests %s, want %s", i, p.ID, batch[i])
+		}
+		proofs[i] = p
+	}
+	return proofs, nil
+}
+
 // Seq fetches the current operation sequence for owner-side signing.
 func (c *Client) Seq(id ids.PhotoID) (uint64, error) {
 	var resp SeqQueryResponse
@@ -199,6 +235,16 @@ func (d *Directory) For(id ids.PhotoID) (Service, error) {
 	c, ok := d.clients[id.Ledger]
 	if !ok {
 		return nil, fmt.Errorf("wire: no ledger registered for id %d", id.Ledger)
+	}
+	return c, nil
+}
+
+// ForLedger routes a ledger identifier to its service; grouped batch
+// queries resolve their per-ledger target through this.
+func (d *Directory) ForLedger(lid ids.LedgerID) (Service, error) {
+	c, ok := d.clients[lid]
+	if !ok {
+		return nil, fmt.Errorf("wire: no ledger registered for id %d", lid)
 	}
 	return c, nil
 }

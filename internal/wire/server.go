@@ -3,6 +3,7 @@ package wire
 import (
 	"crypto/subtle"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -27,6 +28,7 @@ func NewServer(l *ledger.Ledger, adminToken string) *Server {
 	s.mux.HandleFunc("POST /v1/claim", s.handleClaim)
 	s.mux.HandleFunc("POST /v1/op", s.handleOp)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("POST /v1/status/batch", s.handleStatusBatch)
 	s.mux.HandleFunc("GET /v1/seq", s.handleSeq)
 	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	s.mux.HandleFunc("GET /v1/filter", s.handleFilter)
@@ -105,6 +107,42 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		State: proof.State.String(),
 		Proof: proof.Marshal(),
 	})
+}
+
+func (s *Server) handleStatusBatch(w http.ResponseWriter, r *http.Request) {
+	var req StatusBatchRequest
+	if err := ReadJSON(r.Body, &req); err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.IDs) == 0 {
+		WriteError(w, http.StatusBadRequest, "batch must name at least one id")
+		return
+	}
+	if len(req.IDs) > MaxStatusBatch {
+		WriteError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.IDs), MaxStatusBatch))
+		return
+	}
+	batch := make([]ids.PhotoID, len(req.IDs))
+	for i, raw := range req.IDs {
+		id, err := ids.Parse(raw)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, fmt.Sprintf("id %d: %v", i, err))
+			return
+		}
+		batch[i] = id
+	}
+	proofs, err := s.ledger.StatusBatch(batch)
+	if err != nil {
+		WriteError(w, statusFor(err), err.Error())
+		return
+	}
+	resp := &StatusBatchResponse{Proofs: make([][]byte, len(proofs))}
+	for i, p := range proofs {
+		resp.Proofs[i] = p.Marshal()
+	}
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSeq(w http.ResponseWriter, r *http.Request) {

@@ -18,6 +18,9 @@ type Service interface {
 	Apply(id ids.PhotoID, op ledger.Op, seq uint64, sig []byte) error
 	Seq(id ids.PhotoID) (uint64, error)
 	Status(id ids.PhotoID) (*ledger.StatusProof, error)
+	// StatusBatch validates up to MaxStatusBatch identifiers in one
+	// round trip, returning proofs in request order.
+	StatusBatch(batch []ids.PhotoID) ([]*ledger.StatusProof, error)
 	Keys() (*KeysResponse, error)
 	Filter() (epoch uint64, f *bloom.Filter, err error)
 	FilterDelta(from uint64) (delta []byte, latest uint64, err error)
@@ -65,6 +68,15 @@ func (lb *Loopback) Seq(id ids.PhotoID) (uint64, error) {
 // Status implements Service.
 func (lb *Loopback) Status(id ids.PhotoID) (*ledger.StatusProof, error) {
 	return lb.L.Status(id)
+}
+
+// StatusBatch implements Service. The bound is enforced even in
+// process so loopback and HTTP deployments share limits.
+func (lb *Loopback) StatusBatch(batch []ids.PhotoID) ([]*ledger.StatusProof, error) {
+	if len(batch) > MaxStatusBatch {
+		return nil, fmt.Errorf("wire: batch of %d exceeds limit %d", len(batch), MaxStatusBatch)
+	}
+	return lb.L.StatusBatch(batch)
 }
 
 // Keys implements Service.

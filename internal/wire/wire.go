@@ -140,6 +140,29 @@ type StatusResponse struct {
 	Proof []byte `json:"proof"`
 }
 
+// MaxStatusBatch bounds the identifiers in one StatusBatch request. A
+// photo-heavy page runs to dozens of images (the browser model samples
+// 40–60); 256 leaves headroom for several pages per round trip while
+// keeping worst-case response bodies (~35 KB of proofs) far inside
+// maxBody. Servers reject larger batches with 400; clients refuse to
+// send them.
+const MaxStatusBatch = 256
+
+// StatusBatchRequest validates many claims in one round trip — the
+// request-fan-in half of the serving path (per-object round trips are
+// the cost that kills per-image indirection; see DESIGN.md "Serving
+// path").
+type StatusBatchRequest struct {
+	// IDs are PhotoID string forms, at most MaxStatusBatch of them.
+	IDs []string `json:"ids"`
+}
+
+// StatusBatchResponse carries one marshaled signed proof per requested
+// identifier, in request order.
+type StatusBatchResponse struct {
+	Proofs [][]byte `json:"proofs"`
+}
+
 // KeysResponse publishes the ledger's verification keys.
 type KeysResponse struct {
 	// LedgerID is the numeric ledger identifier.

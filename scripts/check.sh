@@ -15,4 +15,12 @@ fi
 
 go vet ./...
 go test -race ./...
+
+# Serving-path benchmarks compile and run once each (not timed here —
+# BENCH_serving.json is the committed artifact); then a tiny closed-loop
+# smoke of the load harness itself, kept out of the repo.
+go test -run='^$' -bench=Serving -benchtime=1x ./internal/ledger ./internal/proxy
+go run ./cmd/irs-bench -serve -serve-out /tmp/irs_serve_smoke.json \
+    -serve-workers 2 -serve-ids 256 -serve-batch 16 -serve-pages 4
+
 echo "check.sh: all green"
