@@ -58,6 +58,10 @@ func main() {
 		servePages   = flag.Int("serve-pages", 60, "pages per worker per arm")
 		serveRevoked = flag.Float64("serve-revoked", 0.1, "fraction of claims revoked at birth")
 		serveZipf    = flag.Float64("serve-zipf", 1.1, "Zipf s parameter for view popularity (>1)")
+
+		chaos       = flag.Bool("chaos", false, "run the fault-injection arm of the serving harness")
+		chaosOut    = flag.String("chaos-out", "BENCH_chaos.json", "chaos report path")
+		chaosOutage = flag.Float64("chaos-outage", 0.1, "fraction of each worker's pages inside the ledger outage window")
 	)
 	flag.Parse()
 
@@ -69,6 +73,24 @@ func main() {
 	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+	if *chaos {
+		err := runChaos(chaosConfig{
+			Out:     *chaosOut,
+			Workers: *serveWorkers,
+			IDs:     *serveIDs,
+			Batch:   *serveBatch,
+			Pages:   *servePages,
+			Revoked: *serveRevoked,
+			Zipf:    *serveZipf,
+			Outage:  *chaosOutage,
+			Seed:    *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irs-bench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *serve {
 		err := runServe(serveConfig{

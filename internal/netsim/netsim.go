@@ -219,13 +219,18 @@ func (l *Link) drain() {
 
 // Quantile returns the q-quantile (0..1) of a duration sample set,
 // sorting a copy. Reports use this for the Almanac-style tables.
+//
+// The estimator is nearest-rank: the smallest sample whose cumulative
+// frequency is ≥ q. Floor-truncating the index (the previous behavior)
+// understates upper quantiles on small samples — p99 of ten samples
+// must be the maximum, not the ninth value.
 func Quantile(samples []time.Duration, q float64) time.Duration {
 	if len(samples) == 0 {
 		return 0
 	}
 	cp := append([]time.Duration(nil), samples...)
 	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
-	idx := int(q * float64(len(cp)-1))
+	idx := int(math.Ceil(q*float64(len(cp)))) - 1
 	if idx < 0 {
 		idx = 0
 	}

@@ -211,6 +211,29 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileNearestRank pins the nearest-rank estimator on small
+// samples. The old floor-truncated index understated upper quantiles:
+// p95/p99 of ten samples returned the 9th value instead of the maximum.
+func TestQuantileNearestRank(t *testing.T) {
+	ten := make([]time.Duration, 10)
+	for i := range ten {
+		ten[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if q := Quantile(ten, 0.95); q != 10*time.Millisecond {
+		t.Errorf("p95 of 10 samples = %v, want 10ms (nearest rank)", q)
+	}
+	if q := Quantile(ten, 0.99); q != 10*time.Millisecond {
+		t.Errorf("p99 of 10 samples = %v, want 10ms (nearest rank)", q)
+	}
+	if q := Quantile(ten, 0.90); q != 9*time.Millisecond {
+		t.Errorf("p90 of 10 samples = %v, want 9ms", q)
+	}
+	// Ranks that land exactly on a sample boundary stay put.
+	if q := Quantile(ten, 0.5); q != 5*time.Millisecond {
+		t.Errorf("p50 of 10 samples = %v, want 5ms", q)
+	}
+}
+
 func BenchmarkSchedulerThroughput(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

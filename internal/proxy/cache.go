@@ -35,9 +35,14 @@ type cacheStripe struct {
 	mu       sync.Mutex
 	capacity int
 	ttl      time.Duration
-	now      func() time.Time
-	entries  map[ids.PhotoID]*list.Element
-	order    *list.List // front = most recently used
+	// stale extends an expired entry's usefulness for the degradation
+	// path: within [expires, expires+stale] the entry answers getStale
+	// (never get). Zero means expired entries are dropped on sight, the
+	// pre-degradation behavior.
+	stale   time.Duration
+	now     func() time.Time
+	entries map[ids.PhotoID]*list.Element
+	order   *list.List // front = most recently used
 }
 
 type cacheEntry struct {
@@ -46,7 +51,7 @@ type cacheEntry struct {
 	expires time.Time
 }
 
-func newCache(capacity int, ttl time.Duration, now func() time.Time, stripes int) *cache {
+func newCache(capacity int, ttl, stale time.Duration, now func() time.Time, stripes int) *cache {
 	n := normalizeStripes(stripes)
 	for n > 1 && capacity/n < minStripeCap {
 		n /= 2
@@ -60,6 +65,7 @@ func newCache(capacity int, ttl time.Duration, now func() time.Time, stripes int
 		s := &c.stripes[i]
 		s.capacity = per
 		s.ttl = ttl
+		s.stale = stale
 		s.now = now
 		s.entries = make(map[ids.PhotoID]*list.Element)
 		s.order = list.New()
@@ -71,7 +77,8 @@ func (c *cache) stripe(id ids.PhotoID) *cacheStripe {
 	return &c.stripes[id.Hash64()&c.mask]
 }
 
-// get returns a live cached proof, or nil.
+// get returns a live cached proof, or nil. Expired entries inside the
+// stale window are kept (for getStale) but never returned here.
 func (c *cache) get(id ids.PhotoID) *ledger.StatusProof {
 	s := c.stripe(id)
 	s.mu.Lock()
@@ -81,7 +88,34 @@ func (c *cache) get(id ids.PhotoID) *ledger.StatusProof {
 		return nil
 	}
 	e := el.Value.(*cacheEntry)
-	if s.now().After(e.expires) {
+	if now := s.now(); now.After(e.expires) {
+		if s.stale <= 0 || now.After(e.expires.Add(s.stale)) {
+			s.order.Remove(el)
+			delete(s.entries, id)
+		}
+		return nil
+	}
+	s.order.MoveToFront(el)
+	return e.proof
+}
+
+// getStale returns an expired-but-within-stale-window proof, or nil.
+// Fresh entries also qualify (a degraded path may race a refresh). The
+// LRU position is refreshed so entries being leaned on during an outage
+// survive eviction pressure.
+func (c *cache) getStale(id ids.PhotoID) *ledger.StatusProof {
+	s := c.stripe(id)
+	if s.stale <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[id]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*cacheEntry)
+	if s.now().After(e.expires.Add(s.stale)) {
 		s.order.Remove(el)
 		delete(s.entries, id)
 		return nil

@@ -49,6 +49,10 @@ const (
 	SourceCache
 	// SourceLedger means the ledger was queried.
 	SourceLedger
+	// SourceStale means the ledger was unreachable and an expired
+	// cached proof inside the DegradePolicy's staleness bound answered
+	// (FailOpenFresh only).
+	SourceStale
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +64,8 @@ func (s Source) String() string {
 		return "cache"
 	case SourceLedger:
 		return "ledger"
+	case SourceStale:
+		return "stale"
 	default:
 		return "unknown"
 	}
@@ -91,14 +97,63 @@ type Stats struct {
 	FilterMisses  atomic.Uint64
 	CacheHits     atomic.Uint64
 	LedgerQueries atomic.Uint64
+	// Degradation counters: stale proofs served under FailOpenFresh,
+	// validations that could not be answered at all, and requests the
+	// circuit breaker failed fast without touching the ledger.
+	StaleServed      atomic.Uint64
+	Unavailable      atomic.Uint64
+	BreakerFastFails atomic.Uint64
 }
 
 // StatsSnapshot is a plain-value copy.
 type StatsSnapshot struct {
-	Total         uint64 `json:"total"`
-	FilterMisses  uint64 `json:"filter_misses"`
-	CacheHits     uint64 `json:"cache_hits"`
-	LedgerQueries uint64 `json:"ledger_queries"`
+	Total            uint64 `json:"total"`
+	FilterMisses     uint64 `json:"filter_misses"`
+	CacheHits        uint64 `json:"cache_hits"`
+	LedgerQueries    uint64 `json:"ledger_queries"`
+	StaleServed      uint64 `json:"stale_served"`
+	Unavailable      uint64 `json:"unavailable"`
+	BreakerFastFails uint64 `json:"breaker_fast_fails"`
+}
+
+// DegradeMode selects what the proxy answers when a ledger cannot be
+// reached (transport failure, retries exhausted, or breaker open).
+type DegradeMode int
+
+const (
+	// DegradeFailClosed propagates the upstream error: an unreachable
+	// ledger blanks its photos. The zero value, and the pre-degradation
+	// behavior.
+	DegradeFailClosed DegradeMode = iota
+	// DegradeFailOpenFresh serves the most recent expired cached proof,
+	// provided it is within StaleTTL of expiry; photos with no
+	// recent-enough proof still fail closed. This is the paper's
+	// availability stance (§4.4): revocation propagation is already
+	// bounded by a TTL, so an outage stretches that bound rather than
+	// taking content offline.
+	DegradeFailOpenFresh
+)
+
+// String implements fmt.Stringer.
+func (m DegradeMode) String() string {
+	switch m {
+	case DegradeFailClosed:
+		return "fail-closed"
+	case DegradeFailOpenFresh:
+		return "fail-open-fresh"
+	default:
+		return fmt.Sprintf("DegradeMode(%d)", int(m))
+	}
+}
+
+// DegradePolicy bounds how far the proxy degrades during an outage.
+type DegradePolicy struct {
+	Mode DegradeMode
+	// StaleTTL is how long past expiry a cached proof may still be
+	// served under FailOpenFresh; 0 means 1 hour. The effective
+	// revocation-propagation bound during an outage is CacheTTL +
+	// StaleTTL.
+	StaleTTL time.Duration
 }
 
 // Config parameterizes a Validator.
@@ -117,6 +172,11 @@ type Config struct {
 	// of two. 1 reproduces the pre-stripe single-lock behavior for
 	// baseline benchmarking.
 	Stripes int
+	// Degrade is the outage answer policy; the zero value fails closed.
+	Degrade DegradePolicy
+	// Breaker configures the per-ledger circuit breakers; the zero
+	// value disables them.
+	Breaker BreakerConfig
 	// Clock supplies time; nil means time.Now.
 	Clock func() time.Time
 }
@@ -164,6 +224,10 @@ type Validator struct {
 	// sf stripes the singleflight table by identifier hash.
 	sf     []sfStripe
 	sfMask uint64
+
+	// brMu guards the lazily created per-ledger circuit breakers.
+	brMu     sync.Mutex
+	breakers map[ids.LedgerID]*breaker
 }
 
 type sfStripe struct {
@@ -185,13 +249,21 @@ func NewValidator(cfg Config, query QueryFunc) *Validator {
 	if cfg.CacheTTL == 0 {
 		cfg.CacheTTL = 5 * time.Minute
 	}
+	stale := time.Duration(0)
+	if cfg.Degrade.Mode == DegradeFailOpenFresh {
+		if cfg.Degrade.StaleTTL == 0 {
+			cfg.Degrade.StaleTTL = time.Hour
+		}
+		stale = cfg.Degrade.StaleTTL
+	}
 	n := normalizeStripes(cfg.Stripes)
 	v := &Validator{
-		cfg:    cfg,
-		query:  query,
-		cache:  newCache(cfg.CacheCapacity, cfg.CacheTTL, cfg.Clock, cfg.Stripes),
-		sf:     make([]sfStripe, n),
-		sfMask: uint64(n - 1),
+		cfg:      cfg,
+		query:    query,
+		cache:    newCache(cfg.CacheCapacity, cfg.CacheTTL, stale, cfg.Clock, cfg.Stripes),
+		sf:       make([]sfStripe, n),
+		sfMask:   uint64(n - 1),
+		breakers: make(map[ids.LedgerID]*breaker),
 	}
 	for i := range v.sf {
 		v.sf[i].m = make(map[ids.PhotoID]*inflight)
@@ -264,10 +336,26 @@ func (v *Validator) Validate(id ids.PhotoID) (Result, error) {
 	}
 	p, err := v.queryOnce(id)
 	if err != nil {
-		return Result{}, err
+		return v.degrade(id, err)
 	}
 	v.cache.put(id, p)
 	return Result{State: p.State, Source: SourceLedger, Proof: p}, nil
+}
+
+// degrade answers a validation whose upstream resolution failed,
+// according to the configured DegradePolicy. FailOpenFresh serves an
+// expired cached proof inside the staleness bound when one exists;
+// otherwise (and always under FailClosed) the upstream error
+// propagates and the validation counts as Unavailable.
+func (v *Validator) degrade(id ids.PhotoID, err error) (Result, error) {
+	if v.cfg.Degrade.Mode == DegradeFailOpenFresh {
+		if p := v.cache.getStale(id); p != nil {
+			v.stats.StaleServed.Add(1)
+			return Result{State: p.State, Source: SourceStale, Proof: p}, nil
+		}
+	}
+	v.stats.Unavailable.Add(1)
+	return Result{}, err
 }
 
 // ValidateBatch answers a page worth of identifiers, producing exactly
@@ -312,11 +400,27 @@ func (v *Validator) ValidateBatch(batch []ids.PhotoID) ([]Result, error) {
 	if len(queryIDs) == 0 {
 		return results, nil
 	}
-	proofs, err := v.resolveBatch(queryIDs)
-	if err != nil {
-		return nil, err
-	}
+	proofs, errs := v.resolveBatch(queryIDs)
+	var firstErr error
 	for j, p := range proofs {
+		if err := errs[j]; err != nil {
+			if v.cfg.Degrade.Mode == DegradeFailOpenFresh {
+				if sp := v.cache.getStale(queryIDs[j]); sp != nil {
+					for _, i := range occs[j] {
+						v.stats.StaleServed.Add(1)
+						results[i] = Result{State: sp.State, Source: SourceStale, Proof: sp}
+					}
+					continue
+				}
+			}
+			for range occs[j] {
+				v.stats.Unavailable.Add(1)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
 		v.cache.put(queryIDs[j], p)
 		for k, i := range occs[j] {
 			if k == 0 || v.cfg.CacheCapacity <= 0 {
@@ -328,19 +432,35 @@ func (v *Validator) ValidateBatch(batch []ids.PhotoID) ([]Result, error) {
 			}
 		}
 	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	return results, nil
 }
 
 // resolveBatch fetches proofs for unique identifiers, grouped by ledger
-// and chunked to the wire limit. Errors win by lowest group index, so
-// the (results, error) pair is deterministic at any worker count.
-func (v *Validator) resolveBatch(queryIDs []ids.PhotoID) ([]*ledger.StatusProof, error) {
+// and chunked to the wire limit. It returns parallel slices: for each
+// queryIDs[j] exactly one of proofs[j] / errs[j] is set. Error
+// precedence is by unique-ID index (first-appearance order), so the
+// caller's (results, error) pair is deterministic at any worker count.
+func (v *Validator) resolveBatch(queryIDs []ids.PhotoID) (proofs []*ledger.StatusProof, errs []error) {
+	proofs = make([]*ledger.StatusProof, len(queryIDs))
+	errs = make([]error, len(queryIDs))
 	if v.batchQuery == nil {
 		// Per-ID fallback, still collapsed through singleflight. The
 		// caller owns the LedgerQueries accounting.
-		return parallel.MapErr(queryIDs, func(_ int, id ids.PhotoID) (*ledger.StatusProof, error) {
-			return v.querySF(id, false)
+		type outcome struct {
+			p   *ledger.StatusProof
+			err error
+		}
+		outs := parallel.Map(queryIDs, func(_ int, id ids.PhotoID) outcome {
+			p, err := v.querySF(id, false)
+			return outcome{p: p, err: err}
 		})
+		for j, o := range outs {
+			proofs[j], errs[j] = o.p, o.err
+		}
+		return proofs, errs
 	}
 	type chunk struct {
 		lid  ids.LedgerID
@@ -369,31 +489,42 @@ func (v *Validator) resolveBatch(queryIDs []ids.PhotoID) ([]*ledger.StatusProof,
 			chunks = append(chunks, chunk{lid: order[g], idxs: idxs[lo:hi]})
 		}
 	}
-	proofs := make([]*ledger.StatusProof, len(queryIDs))
-	_, err := parallel.MapErr(chunks, func(_ int, ch chunk) (struct{}, error) {
+	parallel.Map(chunks, func(_ int, ch chunk) struct{} {
+		fail := func(err error) struct{} {
+			for _, j := range ch.idxs {
+				errs[j] = err
+			}
+			return struct{}{}
+		}
+		br := v.breakerFor(ch.lid)
+		if br != nil && !br.allow(v.cfg.Clock()) {
+			v.stats.BreakerFastFails.Add(1)
+			return fail(fmt.Errorf("proxy: ledger %d: %w", ch.lid, ErrBreakerOpen))
+		}
 		sub := make([]ids.PhotoID, len(ch.idxs))
 		for k, j := range ch.idxs {
 			sub[k] = queryIDs[j]
 		}
 		ps, err := v.batchQuery(ch.lid, sub)
+		if br != nil {
+			br.record(err == nil && len(ps) == len(sub), v.cfg.Clock())
+		}
 		if err != nil {
-			return struct{}{}, err
+			return fail(err)
 		}
 		if len(ps) != len(sub) {
-			return struct{}{}, fmt.Errorf("proxy: ledger %d returned %d proofs for %d ids", ch.lid, len(ps), len(sub))
+			return fail(fmt.Errorf("proxy: ledger %d returned %d proofs for %d ids", ch.lid, len(ps), len(sub)))
 		}
 		for k, j := range ch.idxs {
 			if ps[k] == nil || ps[k].ID != sub[k] {
-				return struct{}{}, fmt.Errorf("proxy: ledger %d returned a proof for the wrong id", ch.lid)
+				errs[j] = fmt.Errorf("proxy: ledger %d returned a proof for the wrong id", ch.lid)
+				continue
 			}
 			proofs[j] = ps[k]
 		}
-		return struct{}{}, nil
+		return struct{}{}
 	})
-	if err != nil {
-		return nil, err
-	}
-	return proofs, nil
+	return proofs, errs
 }
 
 // queryOnce collapses concurrent queries for the same identifier into a
@@ -421,10 +552,18 @@ func (v *Validator) querySF(id ids.PhotoID, count bool) (*ledger.StatusProof, er
 	s.m[id] = fl
 	s.mu.Unlock()
 
-	if count {
-		v.stats.LedgerQueries.Add(1)
+	if br := v.breakerFor(id.Ledger); br != nil && !br.allow(v.cfg.Clock()) {
+		v.stats.BreakerFastFails.Add(1)
+		fl.err = fmt.Errorf("proxy: ledger %d: %w", id.Ledger, ErrBreakerOpen)
+	} else {
+		if count {
+			v.stats.LedgerQueries.Add(1)
+		}
+		fl.proof, fl.err = v.query(id)
+		if br != nil {
+			br.record(fl.err == nil, v.cfg.Clock())
+		}
 	}
-	fl.proof, fl.err = v.query(id)
 	close(fl.done)
 
 	s.mu.Lock()
@@ -440,10 +579,13 @@ func (v *Validator) Invalidate(id ids.PhotoID) { v.cache.invalidate(id) }
 // Stats returns a snapshot of the counters.
 func (v *Validator) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		Total:         v.stats.Total.Load(),
-		FilterMisses:  v.stats.FilterMisses.Load(),
-		CacheHits:     v.stats.CacheHits.Load(),
-		LedgerQueries: v.stats.LedgerQueries.Load(),
+		Total:            v.stats.Total.Load(),
+		FilterMisses:     v.stats.FilterMisses.Load(),
+		CacheHits:        v.stats.CacheHits.Load(),
+		LedgerQueries:    v.stats.LedgerQueries.Load(),
+		StaleServed:      v.stats.StaleServed.Load(),
+		Unavailable:      v.stats.Unavailable.Load(),
+		BreakerFastFails: v.stats.BreakerFastFails.Load(),
 	}
 }
 
@@ -453,6 +595,9 @@ func (v *Validator) ResetStats() {
 	v.stats.FilterMisses.Store(0)
 	v.stats.CacheHits.Store(0)
 	v.stats.LedgerQueries.Store(0)
+	v.stats.StaleServed.Store(0)
+	v.stats.Unavailable.Store(0)
+	v.stats.BreakerFastFails.Store(0)
 }
 
 // LedgerError ties a filter-refresh failure to the ledger it came from.

@@ -2,13 +2,17 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"crypto/ed25519"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"irs/internal/bloom"
@@ -17,51 +21,146 @@ import (
 	"irs/internal/tsa"
 )
 
+// DefaultTimeout bounds one request/response exchange when the caller
+// does not configure one. Serving-path callers that care about tail
+// latency (the proxy, the retry layer) configure something far shorter;
+// this is the safety net for interactive tools.
+const DefaultTimeout = 30 * time.Second
+
+// ClientOptions tunes a Client beyond the defaults.
+type ClientOptions struct {
+	// Timeout bounds each request/response exchange. 0 means
+	// DefaultTimeout; negative disables the deadline entirely (the
+	// caller's context is then the only bound).
+	Timeout time.Duration
+	// HTTPClient overrides the underlying transport, e.g. to share a
+	// connection pool across clients. Its own Timeout field is left
+	// alone; the Client applies its deadline per request via context.
+	HTTPClient *http.Client
+}
+
+// TransportError marks a failure moving a request or response over the
+// network, as opposed to a protocol-level *Error answered by the
+// server. PreSend reports that the failure happened before the request
+// could have reached the server — dial/connection-refused class — which
+// makes a retry safe even for non-idempotent verbs like Claim.
+type TransportError struct {
+	PreSend bool
+	Err     error
+}
+
+// Error implements the error interface.
+func (e *TransportError) Error() string { return fmt.Sprintf("wire: transport: %v", e.Err) }
+
+// Unwrap exposes the underlying network error.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// preSendFailure reports whether err shows the request never left the
+// client: a dial-phase failure means no connection existed to carry it.
+func preSendFailure(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// transportErr wraps a client-side HTTP failure with its pre-send
+// classification, preserving the original chain.
+func transportErr(err error) error {
+	return &TransportError{PreSend: preSendFailure(err), Err: err}
+}
+
 // Client speaks the ledger protocol. It is safe for concurrent use.
 type Client struct {
-	base  string
-	http  *http.Client
-	admin string
+	base    string
+	http    *http.Client
+	admin   string
+	timeout time.Duration
+	// ctx, when non-nil, is the base context every request derives from
+	// (WithContext); nil means context.Background().
+	ctx context.Context
 }
 
 // NewClient creates a client for the ledger at base (e.g.
 // "http://127.0.0.1:8330"). adminToken may be empty for non-appeals
 // callers.
 func NewClient(base string, adminToken string) *Client {
-	return &Client{
-		base:  base,
-		admin: adminToken,
-		http:  &http.Client{Timeout: 30 * time.Second},
+	return NewClientOpts(base, adminToken, ClientOptions{})
+}
+
+// NewClientOpts creates a client with explicit options.
+func NewClientOpts(base string, adminToken string, opts ClientOptions) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
 	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	return &Client{base: base, admin: adminToken, http: hc, timeout: timeout}
 }
 
 // Base returns the base URL the client targets.
 func (c *Client) Base() string { return c.base }
+
+// WithContext returns a copy of the client whose requests derive from
+// ctx — cancel the context and in-flight calls abort. The retry layer
+// uses this to enforce per-attempt deadlines.
+func (c *Client) WithContext(ctx context.Context) Service {
+	cp := *c
+	cp.ctx = ctx
+	return &cp
+}
+
+// newRequest builds a request carrying the client's context and
+// deadline. The returned cancel must be called once the response body
+// is fully consumed.
+func (c *Client) newRequest(method, path string, body io.Reader) (*http.Request, context.CancelFunc, error) {
+	ctx := c.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := context.CancelFunc(func() {})
+	if c.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+	}
+	hr, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return hr, cancel, nil
+}
 
 func (c *Client) postJSON(path string, req, resp any, headers map[string]string) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("wire: encoding request: %w", err)
 	}
-	hr, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
+	hr, cancel, err := c.newRequest(http.MethodPost, path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
+	defer cancel()
 	hr.Header.Set("Content-Type", "application/json")
 	for k, v := range headers {
 		hr.Header.Set(k, v)
 	}
 	r, err := c.http.Do(hr)
 	if err != nil {
-		return fmt.Errorf("wire: POST %s: %w", path, err)
+		return fmt.Errorf("wire: POST %s: %w", path, transportErr(err))
 	}
 	return decodeResponse(r, resp)
 }
 
 func (c *Client) getJSON(path string, resp any) error {
-	r, err := c.http.Get(c.base + path)
+	hr, cancel, err := c.newRequest(http.MethodGet, path, nil)
 	if err != nil {
-		return fmt.Errorf("wire: GET %s: %w", path, err)
+		return err
+	}
+	defer cancel()
+	r, err := c.http.Do(hr)
+	if err != nil {
+		return fmt.Errorf("wire: GET %s: %w", path, transportErr(err))
 	}
 	return decodeResponse(r, resp)
 }
@@ -159,25 +258,41 @@ func (c *Client) Keys() (*KeysResponse, error) {
 // browser-resident filter.
 const maxFilterBytes = 1 << 30
 
-// Filter downloads the latest revocation filter snapshot.
-func (c *Client) Filter() (epoch uint64, f *bloom.Filter, err error) {
-	r, err := c.http.Get(c.base + "/v1/filter")
+// getRaw issues a GET whose successful body is binary (filters); error
+// bodies are still the JSON protocol error.
+func (c *Client) getRaw(path string) (raw []byte, epoch uint64, err error) {
+	hr, cancel, err := c.newRequest(http.MethodGet, path, nil)
 	if err != nil {
-		return 0, nil, fmt.Errorf("wire: GET /v1/filter: %w", err)
+		return nil, 0, err
+	}
+	defer cancel()
+	r, err := c.http.Do(hr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: GET %s: %w", path, transportErr(err))
 	}
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
+		defer func() { _, _ = io.Copy(io.Discard, io.LimitReader(r.Body, maxBody)) }()
 		var e Error
 		if jerr := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&e); jerr == nil && e.Code != 0 {
-			return 0, nil, &e
+			return nil, 0, &e
 		}
-		return 0, nil, &Error{Code: r.StatusCode, Message: r.Status}
+		return nil, 0, &Error{Code: r.StatusCode, Message: r.Status}
 	}
 	epoch, err = strconv.ParseUint(r.Header.Get("X-IRS-Epoch"), 10, 64)
 	if err != nil {
-		return 0, nil, fmt.Errorf("wire: missing filter epoch header")
+		return nil, 0, fmt.Errorf("wire: missing epoch header on %s", path)
 	}
-	raw, err := io.ReadAll(io.LimitReader(r.Body, maxFilterBytes))
+	raw, err = io.ReadAll(io.LimitReader(r.Body, maxFilterBytes))
+	if err != nil {
+		return nil, 0, transportErr(err)
+	}
+	return raw, epoch, nil
+}
+
+// Filter downloads the latest revocation filter snapshot.
+func (c *Client) Filter() (epoch uint64, f *bloom.Filter, err error) {
+	raw, epoch, err := c.getRaw("/v1/filter")
 	if err != nil {
 		return 0, nil, err
 	}
@@ -187,24 +302,7 @@ func (c *Client) Filter() (epoch uint64, f *bloom.Filter, err error) {
 
 // FilterDelta downloads the delta from a held epoch to the latest.
 func (c *Client) FilterDelta(from uint64) (delta []byte, latest uint64, err error) {
-	r, err := c.http.Get(c.base + "/v1/filter/delta?from=" + strconv.FormatUint(from, 10))
-	if err != nil {
-		return nil, 0, fmt.Errorf("wire: GET /v1/filter/delta: %w", err)
-	}
-	defer r.Body.Close()
-	if r.StatusCode != http.StatusOK {
-		var e Error
-		if jerr := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&e); jerr == nil && e.Code != 0 {
-			return nil, 0, &e
-		}
-		return nil, 0, &Error{Code: r.StatusCode, Message: r.Status}
-	}
-	latest, err = strconv.ParseUint(r.Header.Get("X-IRS-Epoch"), 10, 64)
-	if err != nil {
-		return nil, 0, fmt.Errorf("wire: missing delta epoch header")
-	}
-	delta, err = io.ReadAll(io.LimitReader(r.Body, maxFilterBytes))
-	return delta, latest, err
+	return c.getRaw("/v1/filter/delta?from=" + strconv.FormatUint(from, 10))
 }
 
 // PermanentRevoke invokes the admin endpoint; the client must have been
@@ -217,8 +315,11 @@ func (c *Client) PermanentRevoke(id ids.PhotoID) error {
 
 // Directory maps ledger identifiers to Service instances, letting any
 // validator route a PhotoID to its issuing ledger without external
-// lookups (the ledger ID rides in the identifier's high bits).
+// lookups (the ledger ID rides in the identifier's high bits). Safe for
+// concurrent use: Register may race the read paths (the proxy registers
+// recovering ledgers while RefreshFilters fans out over the rest).
 type Directory struct {
+	mu      sync.RWMutex
 	clients map[ids.LedgerID]Service
 }
 
@@ -228,29 +329,34 @@ func NewDirectory() *Directory {
 }
 
 // Register adds or replaces a ledger's service.
-func (d *Directory) Register(id ids.LedgerID, c Service) { d.clients[id] = c }
+func (d *Directory) Register(id ids.LedgerID, c Service) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clients[id] = c
+}
 
 // For routes an identifier to its ledger's service.
 func (d *Directory) For(id ids.PhotoID) (Service, error) {
-	c, ok := d.clients[id.Ledger]
-	if !ok {
-		return nil, fmt.Errorf("wire: no ledger registered for id %d", id.Ledger)
-	}
-	return c, nil
+	return d.ForLedger(id.Ledger)
 }
 
 // ForLedger routes a ledger identifier to its service; grouped batch
 // queries resolve their per-ledger target through this.
 func (d *Directory) ForLedger(lid ids.LedgerID) (Service, error) {
+	d.mu.RLock()
 	c, ok := d.clients[lid]
+	d.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("wire: no ledger registered for id %d", lid)
 	}
 	return c, nil
 }
 
-// All returns every registered service, for filter aggregation sweeps.
+// All returns a snapshot copy of every registered service, for filter
+// aggregation sweeps.
 func (d *Directory) All() map[ids.LedgerID]Service {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make(map[ids.LedgerID]Service, len(d.clients))
 	for k, v := range d.clients {
 		out[k] = v

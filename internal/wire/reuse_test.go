@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"irs/internal/ids"
+)
+
+// TestDecodeResponseDrainsForReuse pins the keep-alive contract of
+// decodeResponse: a response whose body carries data past the JSON
+// value (here: padding after the document) must still leave the
+// connection reusable. Before the drain fix, closing the body with
+// unread bytes made the transport discard the connection, so the second
+// request below dialed a fresh one.
+func TestDecodeResponseDrainsForReuse(t *testing.T) {
+	const padding = 8 << 10 // larger than any decoder read-ahead
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		body := `{"seq":7,"state":"active"}` + strings.Repeat(" ", padding)
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		_, _ = w.Write([]byte(body))
+	}))
+	defer srv.Close()
+
+	// Dedicated transport so the pool isn't shared with other tests.
+	c := NewClientOpts(srv.URL, "", ClientOptions{HTTPClient: &http.Client{Transport: &http.Transport{}}})
+
+	var resp SeqQueryResponse
+	if err := c.getJSON("/v1/seq?id=x", &resp); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+
+	var got httptrace.GotConnInfo
+	ctx := httptrace.WithClientTrace(context.Background(), &httptrace.ClientTrace{
+		GotConn: func(i httptrace.GotConnInfo) { got = i },
+	})
+	c2 := c.WithContext(ctx).(*Client)
+	if err := c2.getJSON("/v1/seq?id=x", &resp); err != nil {
+		t.Fatalf("second request: %v", err)
+	}
+	if !got.Reused {
+		t.Error("second request dialed a new connection; body with trailing data was not drained")
+	}
+}
+
+// TestDirectoryRegisterRaces exercises Register racing every read path;
+// run under -race this fails on the pre-mutex bare-map Directory (the
+// scenario is real: the proxy re-registers a recovering ledger while
+// RefreshFilters fans out over the directory).
+func TestDirectoryRegisterRaces(t *testing.T) {
+	d := NewDirectory()
+	svc := &Loopback{}
+	id, err := ids.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 2000; i++ {
+			d.Register(ids.LedgerID(i%8), svc)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 2000; i++ {
+			_, _ = d.ForLedger(ids.LedgerID(i % 8))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 2000; i++ {
+			_, _ = d.For(id)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 2000; i++ {
+			_ = d.All()
+		}
+	}()
+	close(start)
+	wg.Wait()
+	if len(d.All()) != 8 {
+		t.Errorf("directory holds %d ledgers, want 8", len(d.All()))
+	}
+}

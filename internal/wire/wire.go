@@ -72,8 +72,17 @@ func ReadJSON(r io.Reader, v any) error {
 
 // decodeResponse reads an HTTP response, mapping non-2xx statuses to
 // *Error.
+//
+// The body is drained (bounded) before close: a json.Decoder stops at
+// the end of the first value, and closing a keep-alive connection with
+// unread bytes forces the transport to discard it instead of returning
+// it to the pool — every response with trailing data would pay a fresh
+// TCP (and TLS) handshake on the next request.
 func decodeResponse(resp *http.Response, v any) error {
-	defer resp.Body.Close()
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode/100 != 2 {
 		var e Error
 		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(&e); err != nil || e.Code == 0 {

@@ -16,11 +16,22 @@ fi
 go vet ./...
 go test -race ./...
 
+# Fault-injection and degradation paths re-run under the race detector
+# explicitly (they are the newest concurrency surface; -race ./... above
+# already covers them, this names them so a failure is legible).
+go test -race -run 'Faulty|Retry|Breaker|Degrade|FailOpen|FailClosed|WAL|Directory|Reuse' \
+    ./internal/netsim ./internal/wire ./internal/proxy ./internal/ledger
+
 # Serving-path benchmarks compile and run once each (not timed here —
 # BENCH_serving.json is the committed artifact); then a tiny closed-loop
 # smoke of the load harness itself, kept out of the repo.
 go test -run='^$' -bench=Serving -benchtime=1x ./internal/ledger ./internal/proxy
 go run ./cmd/irs-bench -serve -serve-out /tmp/irs_serve_smoke.json \
     -serve-workers 2 -serve-ids 256 -serve-batch 16 -serve-pages 4
+
+# Chaos-arm smoke: a miniature outage run; the committed artifact is
+# BENCH_chaos.json (full scale, seed 42).
+go run ./cmd/irs-bench -chaos -chaos-out /tmp/irs_chaos_smoke.json \
+    -serve-workers 2 -serve-ids 256 -serve-batch 16 -serve-pages 20
 
 echo "check.sh: all green"
