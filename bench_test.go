@@ -9,11 +9,16 @@ package irs
 // workload via `go run ./cmd/irs-bench -run all -scale full`.
 
 import (
+	"encoding/binary"
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
 
+	"irs/internal/aggregator"
 	"irs/internal/expt"
+	"irs/internal/ids"
+	"irs/internal/phash"
 )
 
 var printOnce sync.Map
@@ -90,3 +95,54 @@ func BenchmarkAblationWatermark(b *testing.B) { runExperiment(b, "ablation-water
 // BenchmarkAblationPropagation quantifies revocation propagation delay
 // across snapshot/refresh/TTL settings (the paper's Nongoal #4).
 func BenchmarkAblationPropagation(b *testing.B) { runExperiment(b, "ablation-propagation") }
+
+// lookupBenchDB builds a SigIndex with n random signatures plus a
+// miss-dominated probe stream; shared by the derivative-lookup
+// benchmarks so linear and indexed time the same data.
+func lookupBenchDB(b *testing.B, n int) (*aggregator.SigIndex, []phash.Signature) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	sig := func() phash.Signature {
+		return phash.Signature{
+			A: phash.Hash(rng.Uint64()),
+			D: phash.Hash(rng.Uint64()),
+			P: phash.Hash(rng.Uint64()),
+		}
+	}
+	sigs := make([]phash.Signature, n)
+	pids := make([]ids.PhotoID, n)
+	for i := range sigs {
+		sigs[i] = sig()
+		pids[i].Ledger = 1
+		binary.BigEndian.PutUint64(pids[i].Rec[:8], uint64(i))
+	}
+	idx := aggregator.NewSigIndex(aggregator.IndexConfig{})
+	idx.AddAll(sigs, pids)
+	probes := make([]phash.Signature, 256)
+	for i := range probes {
+		probes[i] = sig()
+	}
+	return idx, probes
+}
+
+// BenchmarkLookupLinear times the O(n) reference scan of the
+// derivative defense at a 50k-entry hash DB (PR 4 tentpole baseline).
+func BenchmarkLookupLinear(b *testing.B) {
+	idx, probes := lookupBenchDB(b, 50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.LookupLinear(probes[i%len(probes)])
+	}
+}
+
+// BenchmarkLookupIndexed times the multi-index Hamming lookup on the
+// same DB; the -lookup harness sweeps the full size×arm×workers grid.
+func BenchmarkLookupIndexed(b *testing.B) {
+	idx, probes := lookupBenchDB(b, 50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Lookup(probes[i%len(probes)])
+	}
+}

@@ -62,6 +62,13 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "run the fault-injection arm of the serving harness")
 		chaosOut    = flag.String("chaos-out", "BENCH_chaos.json", "chaos report path")
 		chaosOutage = flag.Float64("chaos-outage", 0.1, "fraction of each worker's pages inside the ledger outage window")
+
+		lookup        = flag.Bool("lookup", false, "run the derivative-lookup (hash DB) harness")
+		lookupOut     = flag.String("lookup-out", "BENCH_lookup.json", "lookup report path")
+		lookupSizes   = flag.String("lookup-sizes", "10000,100000,250000", "comma-separated hash-DB sizes")
+		lookupWorkers = flag.String("lookup-workers", "1,4,8", "comma-separated client worker counts")
+		lookupProbes  = flag.Int("lookup-probes", 2000, "probes per size×arm×workers cell")
+		lookupHit     = flag.Float64("lookup-hit", 0.1, "fraction of probes that are near-threshold derivatives")
 	)
 	flag.Parse()
 
@@ -73,6 +80,28 @@ func main() {
 	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+	if *lookup {
+		sizes, err := parseIntList("-lookup-sizes", *lookupSizes)
+		if err == nil {
+			var lw []int
+			lw, err = parseIntList("-lookup-workers", *lookupWorkers)
+			if err == nil {
+				err = runLookup(lookupConfig{
+					Out:     *lookupOut,
+					Sizes:   sizes,
+					Workers: lw,
+					Probes:  *lookupProbes,
+					HitFrac: *lookupHit,
+					Seed:    *seed,
+				})
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irs-bench: lookup: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *chaos {
 		err := runChaos(chaosConfig{

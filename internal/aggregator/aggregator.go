@@ -24,8 +24,10 @@
 package aggregator
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -172,14 +174,14 @@ type Aggregator struct {
 
 	mu      sync.RWMutex
 	photos  map[ids.PhotoID]*hosted
-	hashDB  []hashEntry
 	keys    *camera.KeyStore
 	metrics Metrics
-}
 
-type hashEntry struct {
-	sig phash.Signature
-	id  ids.PhotoID
+	// hashIdx is the robust-hash database behind the derivative defense.
+	// It has its own copy-on-write concurrency (see index.go): lookups
+	// are lock-free and never hold a.mu, so the hot upload path cannot
+	// stall hosting writes or metrics updates.
+	hashIdx *SigIndex
 }
 
 // New creates an aggregator validating against the given ledger
@@ -201,11 +203,12 @@ func New(cfg Config, dir *wire.Directory) (*Aggregator, error) {
 		cfg.Watermark = watermark.DefaultConfig()
 	}
 	return &Aggregator{
-		cfg:    cfg,
-		dir:    dir,
-		clock:  cfg.Clock,
-		photos: make(map[ids.PhotoID]*hosted),
-		keys:   camera.NewKeyStore(""),
+		cfg:     cfg,
+		dir:     dir,
+		clock:   cfg.Clock,
+		photos:  make(map[ids.PhotoID]*hosted),
+		keys:    camera.NewKeyStore(""),
+		hashIdx: NewSigIndex(IndexConfig{}),
 		metrics: Metrics{
 			Denied: make(map[DenyReason]uint64),
 		},
@@ -370,45 +373,15 @@ func (a *Aggregator) host(id ids.PhotoID, im *photo.Image, proof *ledger.StatusP
 		custodial: custodial,
 		sig:       sig,
 	}
-	a.hashDB = append(a.hashDB, hashEntry{sig: sig, id: id})
+	a.hashIdx.Add(sig, id)
 }
 
-// lookupHashChunk is the hash-DB scan granularity. Like every chunk
-// size feeding internal/parallel, it is a constant so chunk boundaries
-// never depend on the worker count.
-const lookupHashChunk = 512
-
+// lookupHash resolves a perceptual signature to the earliest-hosted
+// matching photo. Insertion order decides which hosted photo a
+// derivative resolves to; the index preserves that tie-break exactly
+// (see index.go).
 func (a *Aggregator) lookupHash(sig phash.Signature) (ids.PhotoID, bool) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	n := len(a.hashDB)
-	if n < 2*lookupHashChunk || parallel.Workers() == 1 {
-		for _, e := range a.hashDB {
-			if e.sig.Matches(sig) {
-				return e.id, true
-			}
-		}
-		return ids.PhotoID{}, false
-	}
-	// Parallel scan with serial first-match semantics: insertion order
-	// decides which hosted photo a derivative resolves to, so each chunk
-	// records its earliest hit and the reduce takes the lowest index.
-	firstHit := make([]int, (n+lookupHashChunk-1)/lookupHashChunk)
-	parallel.ForChunks(n, lookupHashChunk, func(c, lo, hi int) {
-		firstHit[c] = -1
-		for i := lo; i < hi; i++ {
-			if a.hashDB[i].sig.Matches(sig) {
-				firstHit[c] = i
-				return
-			}
-		}
-	})
-	for _, idx := range firstHit {
-		if idx >= 0 {
-			return a.hashDB[idx].id, true
-		}
-	}
-	return ids.PhotoID{}, false
+	return a.hashIdx.Lookup(sig)
 }
 
 // UploadVideo runs the pipeline on a video (paper §2: the approach
@@ -459,6 +432,7 @@ func (a *Aggregator) UploadVideo(v *photo.Video) (UploadResult, error) {
 	}
 	// Host the video's poster frame record for revalidation tracking;
 	// the full clip is stored alongside.
+	sig := phash.NewSignature(v.Frames[0])
 	a.mu.Lock()
 	a.metrics.Accepted++
 	a.photos[id] = &hosted{
@@ -467,9 +441,9 @@ func (a *Aggregator) UploadVideo(v *photo.Video) (UploadResult, error) {
 		video:     v.Clone(),
 		proof:     proof,
 		checkedAt: a.clock(),
-		sig:       phash.NewSignature(v.Frames[0]),
+		sig:       sig,
 	}
-	a.hashDB = append(a.hashDB, hashEntry{sig: phash.NewSignature(v.Frames[0]), id: id})
+	a.hashIdx.Add(sig, id)
 	a.mu.Unlock()
 	return UploadResult{Accepted: true, ID: id}, nil
 }
@@ -541,25 +515,46 @@ func (a *Aggregator) revalidate(id ids.PhotoID) error {
 	if err != nil {
 		return err
 	}
+	a.applyRecheck(id, proof)
+	return nil
+}
+
+// applyRecheck installs one recheck result: refresh the proof when the
+// claim is still active, take the photo down otherwise. Takedowns also
+// drop the photo's hash-DB entries — a removed photo must stop
+// resolving derivative lookups, or its identifier keeps denying
+// re-uploads of its derivatives forever.
+func (a *Aggregator) applyRecheck(id ids.PhotoID, proof *ledger.StatusProof) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.metrics.Rechecks++
 	h, ok := a.photos[id]
 	if !ok {
-		return nil
+		return
 	}
 	if proof.State != ledger.StateActive {
 		delete(a.photos, id)
+		a.hashIdx.Remove(id)
 		a.metrics.TakenDown++
-		return nil
+		return
 	}
 	h.proof = proof
 	h.checkedAt = a.clock()
-	return nil
 }
 
 // RecheckAll revalidates every hosted photo — the periodic pass §3.2
 // prescribes. Returns how many photos were taken down.
+//
+// Identifiers are grouped per ledger into StatusBatch requests of at
+// most wire.MaxStatusBatch and fanned out across the worker pool, so a
+// full pass over n photos costs ⌈n/256⌉ round trips instead of n. The
+// observable semantics match the old per-photo loop: every photo is
+// rechecked even when some ledgers fail, results apply in a
+// deterministic order, and the returned error is the first by batch
+// order (batches are sorted by identifier, so the error choice does
+// not depend on worker count or map iteration order — the old loop's
+// firstErr varied with map order; sorted batch order is the one
+// deterministic refinement).
 func (a *Aggregator) RecheckAll() (takenDown int, err error) {
 	a.mu.RLock()
 	idsToCheck := make([]ids.PhotoID, 0, len(a.photos))
@@ -567,11 +562,39 @@ func (a *Aggregator) RecheckAll() (takenDown int, err error) {
 		idsToCheck = append(idsToCheck, id)
 	}
 	a.mu.RUnlock()
+	sort.Slice(idsToCheck, func(i, j int) bool {
+		bi, bj := idsToCheck[i].Bytes(), idsToCheck[j].Bytes()
+		return bytes.Compare(bi[:], bj[:]) < 0
+	})
+	// The identifier's byte form is ledger-major, so sorting has already
+	// grouped each ledger's photos into one contiguous run.
+	type recheckBatch struct {
+		lid ids.LedgerID
+		ids []ids.PhotoID
+	}
+	var batches []recheckBatch
+	for start := 0; start < len(idsToCheck); {
+		lid := idsToCheck[start].Ledger
+		end := start
+		for end < len(idsToCheck) && idsToCheck[end].Ledger == lid && end-start < wire.MaxStatusBatch {
+			end++
+		}
+		batches = append(batches, recheckBatch{lid: lid, ids: idsToCheck[start:end]})
+		start = end
+	}
 	before := a.MetricsSnapshot().TakenDown
-	var firstErr error
-	for _, id := range idsToCheck {
-		if rerr := a.revalidate(id); rerr != nil && firstErr == nil {
-			firstErr = rerr
+	proofs, firstErr := parallel.MapErr(batches, func(_ int, b recheckBatch) ([]*ledger.StatusProof, error) {
+		svc, err := a.dir.ForLedger(b.lid)
+		if err != nil {
+			return nil, err
+		}
+		return svc.StatusBatch(b.ids)
+	})
+	for bi, batchProofs := range proofs {
+		for pi, proof := range batchProofs {
+			if proof != nil {
+				a.applyRecheck(batches[bi].ids[pi], proof)
+			}
 		}
 	}
 	return int(a.MetricsSnapshot().TakenDown - before), firstErr
@@ -599,6 +622,9 @@ func (a *Aggregator) TakeDown(id ids.PhotoID) bool {
 		return false
 	}
 	delete(a.photos, id)
+	// Drop the hash-DB entries too: a taken-down photo must stop
+	// resolving derivative lookups to its (now dead) identifier.
+	a.hashIdx.Remove(id)
 	a.metrics.TakenDown++
 	return true
 }

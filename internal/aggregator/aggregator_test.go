@@ -273,6 +273,88 @@ func TestDerivativeRelabeledDenied(t *testing.T) {
 	}
 }
 
+// TestTakeDownClearsHashDB is the regression test for the hash-DB
+// leak: TakeDown removed the photo but left its robust-hash entries
+// behind, so derivative lookups kept resolving to the dead identifier
+// and legitimately re-claimed uploads of the same content were denied
+// forever.
+func TestTakeDownClearsHashDB(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	labeled, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(77, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := r.agg.Upload(labeled); err != nil || !res.Accepted {
+		t.Fatalf("first upload: %+v %v", res, err)
+	}
+	// A relabeled copy of hosted content is a derivative — denied.
+	cfg := watermark.DefaultConfig()
+	erased, err := watermark.Erase(labeled, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherCam := camera.New(&wire.Loopback{L: r.ownerLedger}, "local://1", nil)
+	relabeled, reclaimed, err := otherCam.ClaimAndLabel(erased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := r.agg.Upload(relabeled); err != nil || res.Reason != DenyDerivativeRelabeled {
+		t.Fatalf("pre-takedown derivative upload: %+v %v", res, err)
+	}
+	// The original is taken down (site-level appeal). Its hash-DB
+	// entries must go with it: the re-claimed copy now has the only
+	// live claim on this content and must be accepted.
+	if !r.agg.TakeDown(owned.ID) {
+		t.Fatal("takedown failed")
+	}
+	res, err := r.agg.Upload(relabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("post-takedown upload denied: %+v — hash-DB entry leaked past takedown", res)
+	}
+	if res.ID != reclaimed.ID {
+		t.Errorf("hosted under %v, want %v", res.ID, reclaimed.ID)
+	}
+}
+
+// TestRecheckAllClearsHashDB covers the same leak through the periodic
+// recheck path: a revocation-driven takedown must also drop the
+// photo's hash-DB entries.
+func TestRecheckAllClearsHashDB(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	labeled, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(78, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := r.agg.Upload(labeled); err != nil || !res.Accepted {
+		t.Fatalf("upload: %+v %v", res, err)
+	}
+	if err := r.cam.Revoke(owned.ID); err != nil {
+		t.Fatal(err)
+	}
+	if down, err := r.agg.RecheckAll(); err != nil || down != 1 {
+		t.Fatalf("recheck: %d %v", down, err)
+	}
+	erased, err := watermark.Erase(labeled, watermark.DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherCam := camera.New(&wire.Loopback{L: r.ownerLedger}, "local://1", nil)
+	relabeled, _, err := otherCam.ClaimAndLabel(erased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.agg.Upload(relabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("post-recheck upload denied: %+v — hash-DB entry leaked past recheck takedown", res)
+	}
+}
+
 func TestRecheckTakesDownRevoked(t *testing.T) {
 	r := newRig(t, RejectUnlabeled, nil)
 	labeled, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(10, 192, 128))

@@ -1,0 +1,79 @@
+package phash
+
+// Band decomposition for sub-linear Hamming search.
+//
+// The aggregator's derivative defense (§3.2) matches every upload
+// against the robust-hash database of all hosted photos. A linear scan
+// compares the probe with every stored signature; the multi-index
+// alternative cuts the database by the pigeonhole principle:
+//
+// Split a 64-bit hash into m disjoint bands. If two hashes are within
+// Hamming distance t, their t differing bits land in at most t bands,
+// so with m = t+1 bands at least one band matches exactly. For
+// DefaultThreshold = 10 that is the classic NumBands = 11 statement.
+//
+// The generalized form trades band count against a per-band search
+// radius: with m bands carrying radii q_0..q_{m-1} such that
+// Σ(q_i + 1) > t, two hashes within distance t agree to within q_i on
+// at least one band i (otherwise every band contributes ≥ q_i + 1
+// differing bits, for a total > t). BandRadii returns the minimal such
+// allocation: Σ q_i = t + 1 - m, spread as evenly as possible. m = t+1
+// yields all-zero radii (exact-match bands); smaller m yields wider
+// bands probed within a small radius, whose buckets are exponentially
+// sparser — the regime where candidate sets stay tiny (Norouzi et
+// al.'s multi-index hashing observation that band width should track
+// log₂ of the database size).
+//
+// Band layout: bands are contiguous, low bits first, with the
+// remainder bits given to the leading bands — band i covers
+// BandWidth(i, m) bits starting at BandShift(i, m).
+
+// NumBands is the band count of the classic pigeonhole decomposition
+// at the default threshold: any two hashes within DefaultThreshold
+// Hamming distance share at least one of these bands exactly.
+const NumBands = DefaultThreshold + 1
+
+// BandWidth returns the bit width of band i of m over a 64-bit hash.
+// The leading 64%m bands are one bit wider.
+func BandWidth(i, m int) int {
+	w := 64 / m
+	if i < 64%m {
+		w++
+	}
+	return w
+}
+
+// BandShift returns the low-bit offset of band i of m.
+func BandShift(i, m int) int {
+	wide := 64 % m
+	base := 64 / m
+	if i <= wide {
+		return i * (base + 1)
+	}
+	return wide*(base+1) + (i-wide)*base
+}
+
+// Band extracts band i of m from h. Bands are at most 16 bits for
+// m ≥ 4, so the value fits any index-table key.
+func Band(h Hash, i, m int) uint32 {
+	return uint32((uint64(h) >> uint(BandShift(i, m))) & (1<<uint(BandWidth(i, m)) - 1))
+}
+
+// BandRadii returns the minimal per-band search radii for which the
+// generalized pigeonhole guarantee holds at the given threshold:
+// Σ(q_i + 1) = threshold + 1, so two hashes within the threshold match
+// some band i to within q_i. For m = threshold+1 every radius is zero.
+func BandRadii(threshold, m int) []int {
+	total := threshold + 1 - m
+	if total < 0 {
+		total = 0
+	}
+	radii := make([]int, m)
+	for i := range radii {
+		radii[i] = total / m
+		if i < total%m {
+			radii[i]++
+		}
+	}
+	return radii
+}

@@ -1,0 +1,116 @@
+package phash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBandLayoutCoversHash(t *testing.T) {
+	// m = 1 is degenerate (the band would not fit Band's uint32);
+	// every supported decomposition has at least two bands.
+	for m := 2; m <= NumBands; m++ {
+		total := 0
+		for i := 0; i < m; i++ {
+			if BandShift(i, m) != total {
+				t.Fatalf("m=%d band %d: shift %d, want %d", m, i, BandShift(i, m), total)
+			}
+			w := BandWidth(i, m)
+			if w <= 0 || w > 32 {
+				t.Fatalf("m=%d band %d: width %d out of range", m, i, w)
+			}
+			total += w
+		}
+		if total != 64 {
+			t.Fatalf("m=%d: widths sum to %d, want 64", m, total)
+		}
+	}
+}
+
+func TestBandReassembly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for m := 2; m <= NumBands; m++ {
+		for trial := 0; trial < 50; trial++ {
+			h := Hash(rng.Uint64())
+			var got uint64
+			for i := 0; i < m; i++ {
+				got |= uint64(Band(h, i, m)) << uint(BandShift(i, m))
+			}
+			if got != uint64(h) {
+				t.Fatalf("m=%d: bands reassemble to %#x, want %#x", m, got, uint64(h))
+			}
+		}
+	}
+}
+
+func TestClassicDecomposition(t *testing.T) {
+	if NumBands != 11 {
+		t.Fatalf("NumBands = %d, want 11", NumBands)
+	}
+	// 64 = 9*6 + 2*5: nine 6-bit bands then two 5-bit bands.
+	for i := 0; i < NumBands; i++ {
+		want := 6
+		if i >= 9 {
+			want = 5
+		}
+		if w := BandWidth(i, NumBands); w != want {
+			t.Fatalf("band %d width = %d, want %d", i, w, want)
+		}
+	}
+	for i, r := range BandRadii(DefaultThreshold, NumBands) {
+		if r != 0 {
+			t.Fatalf("classic band %d radius = %d, want 0", i, r)
+		}
+	}
+}
+
+func TestBandRadiiGuaranteeBudget(t *testing.T) {
+	for m := 2; m <= NumBands; m++ {
+		radii := BandRadii(DefaultThreshold, m)
+		sum := 0
+		for _, r := range radii {
+			sum += r + 1
+		}
+		if want := DefaultThreshold + 1; sum < want {
+			t.Fatalf("m=%d: Σ(q_i+1) = %d < %d — pigeonhole guarantee broken", m, sum, want)
+		}
+	}
+	got := BandRadii(DefaultThreshold, 4)
+	want := []int{2, 2, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BandRadii(10, 4) = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPigeonholeProperty is the load-bearing guarantee for the
+// aggregator's multi-index: any hash within DefaultThreshold of the
+// probe agrees with it to within the band radius on some band.
+func TestPigeonholeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []int{4, 5, 8, NumBands} {
+		radii := BandRadii(DefaultThreshold, m)
+		for trial := 0; trial < 2000; trial++ {
+			h := Hash(rng.Uint64())
+			d := rng.Intn(DefaultThreshold + 1) // 0..threshold
+			o := h
+			for flipped := 0; flipped < d; {
+				bit := uint(rng.Intn(64))
+				if uint64(o^h)&(1<<bit) == 0 {
+					o ^= 1 << bit
+					flipped++
+				}
+			}
+			ok := false
+			for i := 0; i < m; i++ {
+				if Distance(Hash(uint64(Band(h, i, m))), Hash(uint64(Band(o, i, m)))) <= radii[i] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("m=%d d=%d: no band within radius for %#x vs %#x", m, d, uint64(h), uint64(o))
+			}
+		}
+	}
+}

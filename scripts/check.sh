@@ -22,6 +22,11 @@ go test -race ./...
 go test -race -run 'Faulty|Retry|Breaker|Degrade|FailOpen|FailClosed|WAL|Directory|Reuse' \
     ./internal/netsim ./internal/wire ./internal/proxy ./internal/ledger
 
+# The derivative-lookup index's lock-free snapshot scheme and its
+# linear-equivalence proof, named for the same reason.
+go test -race -run 'IndexConcurrentUploadLookupTakeDown|IndexedLinearDifferential|LookupHashFirstMatch|ClearsHashDB' \
+    ./internal/aggregator
+
 # Serving-path benchmarks compile and run once each (not timed here —
 # BENCH_serving.json is the committed artifact); then a tiny closed-loop
 # smoke of the load harness itself, kept out of the repo.
@@ -33,5 +38,12 @@ go run ./cmd/irs-bench -serve -serve-out /tmp/irs_serve_smoke.json \
 # BENCH_chaos.json (full scale, seed 42).
 go run ./cmd/irs-bench -chaos -chaos-out /tmp/irs_chaos_smoke.json \
     -serve-workers 2 -serve-ids 256 -serve-batch 16 -serve-pages 20
+
+# Derivative-lookup smoke: tiny sweep, but the harness still asserts
+# all arms return identical results for every probe; the committed
+# artifact is BENCH_lookup.json (default sizes, seed 42).
+go test -run='^$' -bench=BenchmarkLookup -benchtime=1x .
+go run ./cmd/irs-bench -lookup -lookup-out /tmp/irs_lookup_smoke.json \
+    -lookup-sizes 4000,20000 -lookup-workers 1,4 -lookup-probes 300
 
 echo "check.sh: all green"
