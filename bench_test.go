@@ -9,6 +9,9 @@ package irs
 // workload via `go run ./cmd/irs-bench -run all -scale full`.
 
 import (
+	"crypto/ed25519"
+	crand "crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"math/rand"
 	"os"
@@ -18,7 +21,10 @@ import (
 	"irs/internal/aggregator"
 	"irs/internal/expt"
 	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/obs"
 	"irs/internal/phash"
+	"irs/internal/proxy"
 )
 
 var printOnce sync.Map
@@ -144,5 +150,62 @@ func BenchmarkLookupIndexed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		idx.Lookup(probes[i%len(probes)])
+	}
+}
+
+// obsBenchValidator builds a validator over a one-claim in-memory
+// ledger with the whole (tiny) population cached, so the benchmark
+// loop times the cache-hit fast path — the hottest validation path and
+// the one the obs layer must not tax. reg nil is the obs-off arm.
+func obsBenchValidator(b *testing.B, reg *obs.Registry) (*proxy.Validator, ids.PhotoID) {
+	b.Helper()
+	l, err := ledger.New(ledger.Config{ID: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	pub, priv, err := ed25519.GenerateKey(crand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := sha256.Sum256([]byte("obs-bench"))
+	rec, err := l.Claim(h, pub, ed25519.Sign(priv, ledger.ClaimMsg(h)), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := proxy.NewValidator(proxy.Config{CacheCapacity: 64, Obs: reg},
+		func(id ids.PhotoID) (*ledger.StatusProof, error) { return l.Status(id) })
+	if _, err := v.Validate(rec.ID); err != nil {
+		b.Fatal(err)
+	}
+	return v, rec.ID
+}
+
+// BenchmarkValidateObsOff times the cache-hit validation path with no
+// shared registry — the seed-cost baseline (two atomic adds, no clock
+// reads).
+func BenchmarkValidateObsOff(b *testing.B) {
+	v, id := obsBenchValidator(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Validate(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidateObsOn times the same path with a registry attached:
+// the outcome counters plus a per-outcome latency observation. The
+// obs-compare harness (irs-bench -obs-compare) holds the end-to-end
+// p99 delta under 5%; this pair pins the per-call cost.
+func BenchmarkValidateObsOn(b *testing.B) {
+	v, id := obsBenchValidator(b, obs.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Validate(id); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

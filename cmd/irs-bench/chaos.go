@@ -17,6 +17,7 @@ import (
 
 	"irs/internal/ids"
 	"irs/internal/ledger"
+	"irs/internal/obs"
 	"irs/internal/parallel"
 	"irs/internal/proxy"
 	"irs/internal/wire"
@@ -82,6 +83,17 @@ type chaosArm struct {
 
 	TraceHash   string `json:"trace_hash"`
 	TraceStable bool   `json:"trace_stable"`
+
+	// Metrics is the first run's obs registry snapshot. MetricsStable
+	// compares the scheduling-independent view of both runs: total
+	// validations plus outcome-group sums (hit+query, unavailable+
+	// fast-fail, stale, filter). The split inside a group — e.g. how many
+	// outage pages fast-failed vs erred upstream — legitimately depends
+	// on when the breaker tripped relative to each in-flight page, so
+	// only single-worker runs pin the full snapshot byte for byte (the
+	// regression test in chaos_test.go does exactly that).
+	Metrics       []obs.SeriesSnapshot `json:"metrics,omitempty"`
+	MetricsStable bool                 `json:"metrics_stable"`
 }
 
 // chaosReport is the BENCH_chaos.json document.
@@ -150,6 +162,8 @@ type chaosOutcome struct {
 	retries   uint64
 	denied    uint64
 	traceHash string
+	snap      []obs.SeriesSnapshot
+	promText  string
 }
 
 // runChaosOnce executes one arm once: preload, warm, outage, recover.
@@ -179,13 +193,23 @@ func runChaosOnce(cfg chaosConfig, backend *serveLedger, spec chaosSpec, truth m
 	// the recovery probe.
 	now := time.Date(2022, 11, 14, 0, 0, 0, 0, time.UTC)
 	cacheTTL := time.Minute
+	// A fresh registry and tracer per run, both on the phase clock: the
+	// validator's latency histograms observe zero-width intervals (the
+	// clock only advances at barriers), so two same-seed runs produce
+	// snapshots that differ only where scheduling legitimately leaks in
+	// (see chaosArm.MetricsStable).
+	reg := obs.NewRegistry()
+	clock := func() time.Time { return now }
+	tracer := obs.NewTracer(4*cfg.Workers, clock)
 	v := proxy.NewValidator(proxy.Config{
 		CacheCapacity: cfg.IDs * 2,
 		CacheTTL:      cacheTTL,
 		Stripes:       16,
 		Degrade:       proxy.DegradePolicy{Mode: spec.degrade, StaleTTL: time.Hour},
 		Breaker:       proxy.BreakerConfig{Enabled: spec.breaker, FailureThreshold: 5, Cooldown: 5 * time.Second},
-		Clock:         func() time.Time { return now },
+		Clock:         clock,
+		Obs:           reg,
+		Tracer:        tracer,
 	}, func(id ids.PhotoID) (*ledger.StatusProof, error) {
 		return svc.Status(id)
 	})
@@ -299,7 +323,7 @@ func runChaosOnce(cfg chaosConfig, backend *serveLedger, spec chaosSpec, truth m
 		return nil, err
 	}
 
-	out := &chaosOutcome{workers: workers, proxy: v.Stats()}
+	out := &chaosOutcome{workers: workers, proxy: v.Stats(), snap: reg.Snapshot(), promText: reg.PrometheusText()}
 	if rc != nil {
 		st := rc.Stats()
 		out.retries, out.denied = st.Retries, st.BudgetDenied
@@ -315,6 +339,28 @@ func runChaosOnce(cfg chaosConfig, backend *serveLedger, spec chaosSpec, truth m
 // wantOutageError says whether a fail-closed page error is expected.
 func wantOutageError(err error, inOutage bool) bool {
 	return err != nil && inOutage
+}
+
+// chaosMetricsKey reduces a snapshot to its scheduling-independent
+// view: the validation total plus outcome-group sums. The groups pair
+// outcomes whose individual split depends on goroutine interleaving
+// (cache hit vs ledger query when workers race on the same expired id;
+// upstream error vs breaker fast-fail around the trip point) but whose
+// sum is fixed by the seed.
+func chaosMetricsKey(snap []obs.SeriesSnapshot) string {
+	val := func(name string, labels ...obs.Label) float64 {
+		v, _ := obs.Value(snap, name, labels...)
+		return v
+	}
+	out := func(o string) float64 {
+		return val("irs_proxy_outcomes_total", obs.L("outcome", o))
+	}
+	return fmt.Sprintf("total=%.0f served=%.0f failed=%.0f stale=%.0f filter=%.0f",
+		val("irs_proxy_validations_total"),
+		out("cache_hit")+out("ledger_query"),
+		out("unavailable")+out("breaker_fast_fail"),
+		out("stale_served"),
+		out("filter_miss"))
 }
 
 // runChaosArm runs one posture twice with the same seed: the first run
@@ -347,23 +393,25 @@ func runChaosArm(cfg chaosConfig, backend *serveLedger, spec chaosSpec, truth ma
 		return float64(ds[int(p*float64(len(ds)-1))].Microseconds()) / 1000
 	}
 	arm := chaosArm{
-		Arm:          spec.name,
-		Retry:        spec.retry,
-		Breaker:      spec.breaker,
-		Degrade:      spec.degrade.String(),
-		PagesTotal:   total,
-		PagesServed:  served,
-		PagesCorrect: correct,
-		OutagePages:  len(outage),
-		P50Ms:        pct(all, 0.50),
-		P95Ms:        pct(all, 0.95),
-		P99Ms:        pct(all, 0.99),
-		OutageP99Ms:  pct(outage, 0.99),
-		Proxy:        first.proxy,
-		Retries:      first.retries,
-		BudgetDenied: first.denied,
-		TraceHash:    first.traceHash,
-		TraceStable:  first.traceHash == second.traceHash,
+		Arm:           spec.name,
+		Retry:         spec.retry,
+		Breaker:       spec.breaker,
+		Degrade:       spec.degrade.String(),
+		Metrics:       first.snap,
+		MetricsStable: chaosMetricsKey(first.snap) == chaosMetricsKey(second.snap),
+		PagesTotal:    total,
+		PagesServed:   served,
+		PagesCorrect:  correct,
+		OutagePages:   len(outage),
+		P50Ms:         pct(all, 0.50),
+		P95Ms:         pct(all, 0.95),
+		P99Ms:         pct(all, 0.99),
+		OutageP99Ms:   pct(outage, 0.99),
+		Proxy:         first.proxy,
+		Retries:       first.retries,
+		BudgetDenied:  first.denied,
+		TraceHash:     first.traceHash,
+		TraceStable:   first.traceHash == second.traceHash,
 	}
 	if total > 0 {
 		arm.Availability = float64(served) / float64(total)
@@ -414,9 +462,10 @@ func runChaos(cfg chaosConfig) error {
 			return err
 		}
 		report.Arms = append(report.Arms, arm)
-		fmt.Printf("%-30s avail %5.1f%%  goodput %5.1f%%  p99 %7.2fms  outage-p99 %7.2fms  stale %d  fastfail %d  stable=%v\n",
+		fmt.Printf("%-30s avail %5.1f%%  goodput %5.1f%%  p99 %7.2fms  outage-p99 %7.2fms  stale %d  fastfail %d  stable=%v metrics_stable=%v\n",
 			arm.Arm, 100*arm.Availability, 100*arm.Goodput, arm.P99Ms, arm.OutageP99Ms,
-			arm.Proxy.StaleServed, arm.Proxy.BreakerFastFails, arm.TraceStable)
+			arm.Proxy.StaleServed, arm.Proxy.BreakerFastFails, arm.TraceStable, arm.MetricsStable)
+		fmt.Printf("%-30s %s\n", "", obsLine(arm.Metrics))
 	}
 
 	data, err := json.MarshalIndent(&report, "", "  ")

@@ -63,6 +63,11 @@ func main() {
 		chaosOut    = flag.String("chaos-out", "BENCH_chaos.json", "chaos report path")
 		chaosOutage = flag.Float64("chaos-outage", 0.1, "fraction of each worker's pages inside the ledger outage window")
 
+		obsCompare   = flag.Bool("obs-compare", false, "run the observability overhead guard (obs-on vs obs-off)")
+		obsOut       = flag.String("obs-out", "BENCH_obs.json", "obs-compare report path")
+		obsReps      = flag.Int("obs-reps", 3, "interleaved reps per arm (min-of-N p99)")
+		obsTolerance = flag.Float64("obs-tolerance", 0.05, "allowed fractional p99 overhead of the instrumented arm")
+
 		lookup        = flag.Bool("lookup", false, "run the derivative-lookup (hash DB) harness")
 		lookupOut     = flag.String("lookup-out", "BENCH_lookup.json", "lookup report path")
 		lookupSizes   = flag.String("lookup-sizes", "10000,100000,250000", "comma-separated hash-DB sizes")
@@ -99,6 +104,25 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "irs-bench: lookup: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsCompare {
+		err := runObsCompare(obsConfig{
+			Out:       *obsOut,
+			Workers:   *serveWorkers,
+			IDs:       *serveIDs,
+			Batch:     *serveBatch,
+			Pages:     *servePages,
+			Revoked:   *serveRevoked,
+			Zipf:      *serveZipf,
+			Seed:      *seed,
+			Reps:      *obsReps,
+			Tolerance: *obsTolerance,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irs-bench: obs-compare: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/obs"
+	"irs/internal/parallel"
+	"irs/internal/proxy"
+)
+
+// The -obs-compare harness is the observability layer's overhead guard:
+// the same -serve workload (direct transport, batched pages, sharded
+// ledger) runs with the obs registry attached and detached, interleaved
+// rep by rep so thermal and cache drift hit both arms equally. Each
+// arm keeps its best (minimum) p99 across reps — the standard
+// min-of-N noise floor — and the report asserts the instrumented arm's
+// p99 within -obs-tolerance of the bare one. check.sh runs this as a
+// smoke; the committed artifact is BENCH_obs.json.
+
+// obsConfig carries the -obs-compare flags (sharing the -serve-*
+// workload shape).
+type obsConfig struct {
+	Out       string
+	Workers   int
+	IDs       int
+	Batch     int
+	Pages     int
+	Revoked   float64
+	Zipf      float64
+	Seed      int64
+	Reps      int
+	Tolerance float64 // fractional p99 headroom, e.g. 0.05
+}
+
+// obsRep is one rep of one arm.
+type obsRep struct {
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	IDsPerSec float64 `json:"ids_per_sec"`
+}
+
+// obsCompareArm is one arm's reps plus its min-of-N summary.
+type obsCompareArm struct {
+	Arm    string   `json:"arm"` // "obs-on" or "obs-off"
+	Reps   []obsRep `json:"reps"`
+	P99Ms  float64  `json:"p99_ms"`  // min across reps
+	MeanMs float64  `json:"mean_ms"` // min across reps
+}
+
+// obsCompareReport is the BENCH_obs.json document.
+type obsCompareReport struct {
+	Seed       int64   `json:"seed"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	IDs        int     `json:"ids"`
+	Reps       int     `json:"reps"`
+	Tolerance  float64 `json:"tolerance"`
+
+	Off obsCompareArm `json:"off"`
+	On  obsCompareArm `json:"on"`
+
+	// RatioP99 is on/off of the min-of-N p99s; the acceptance gate is
+	// RatioP99 <= 1+Tolerance.
+	RatioP99        float64 `json:"ratio_p99"`
+	WithinTolerance bool    `json:"within_tolerance"`
+
+	// Metrics is the final obs-on rep's registry snapshot, proof the
+	// instrumented arm actually collected what it claims to.
+	Metrics []obs.SeriesSnapshot `json:"metrics,omitempty"`
+	Note    string               `json:"note"`
+}
+
+// runObsRep drives the workload once against a fresh validator. reg
+// nil is the obs-off arm (the validator falls back to its private
+// registry with latency collection disabled — the seed-cost path).
+func runObsRep(cfg obsConfig, backend *serveLedger, reg *obs.Registry) (obsRep, error) {
+	v := proxy.NewValidator(proxy.Config{Stripes: 16, Obs: reg}, func(id ids.PhotoID) (*ledger.StatusProof, error) {
+		return backend.direct.Status(id)
+	})
+	v.SetBatchQuery(func(_ ids.LedgerID, page []ids.PhotoID) ([]*ledger.StatusProof, error) {
+		return backend.direct.StatusBatch(page)
+	})
+
+	lats := make([][]time.Duration, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(parallel.SplitSeed(cfg.Seed, w)))
+			zipf := rand.NewZipf(rng, cfg.Zipf, 1, uint64(len(backend.ids)-1))
+			page := make([]ids.PhotoID, cfg.Batch)
+			lats[w] = make([]time.Duration, 0, cfg.Pages)
+			for p := 0; p < cfg.Pages; p++ {
+				for i := range page {
+					page[i] = backend.ids[zipf.Uint64()]
+				}
+				t0 := time.Now()
+				if _, err := v.ValidateBatch(page); err != nil {
+					errs[w] = err
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return obsRep{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, ws := range lats {
+		all = append(all, ws...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	rep := obsRep{IDsPerSec: float64(len(all)*cfg.Batch) / wall.Seconds()}
+	if len(all) > 0 {
+		rep.P99Ms = float64(all[int(0.99*float64(len(all)-1))].Microseconds()) / 1000
+		rep.MeanMs = float64(sum.Microseconds()) / float64(len(all)) / 1000
+	}
+	return rep, nil
+}
+
+// runObsCompare executes both arms interleaved and writes the report,
+// failing when the instrumented arm exceeds the tolerance.
+func runObsCompare(cfg obsConfig) error {
+	if cfg.Reps <= 0 {
+		cfg.Reps = 3
+	}
+	backend, err := setupServeLedger(serveConfig{
+		Workers: cfg.Workers, IDs: cfg.IDs, Batch: cfg.Batch, Pages: cfg.Pages,
+		Revoked: cfg.Revoked, Zipf: cfg.Zipf, Seed: cfg.Seed,
+	}, 0)
+	if err != nil {
+		return err
+	}
+	defer backend.close()
+
+	report := obsCompareReport{
+		Seed:       cfg.Seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    cfg.Workers,
+		IDs:        cfg.IDs,
+		Reps:       cfg.Reps,
+		Tolerance:  cfg.Tolerance,
+		Off:        obsCompareArm{Arm: "obs-off"},
+		On:         obsCompareArm{Arm: "obs-on"},
+		Note: "same -serve workload (direct transport, batched pages) with and without an obs " +
+			"registry attached, interleaved rep by rep; each arm reports its min-of-reps p99 " +
+			"and the gate is on/off <= 1+tolerance",
+	}
+	var lastSnap []obs.SeriesSnapshot
+	for r := 0; r < cfg.Reps; r++ {
+		off, err := runObsRep(cfg, backend, nil)
+		if err != nil {
+			return fmt.Errorf("obs-off rep %d: %w", r, err)
+		}
+		report.Off.Reps = append(report.Off.Reps, off)
+		reg := obs.NewRegistry()
+		on, err := runObsRep(cfg, backend, reg)
+		if err != nil {
+			return fmt.Errorf("obs-on rep %d: %w", r, err)
+		}
+		report.On.Reps = append(report.On.Reps, on)
+		lastSnap = reg.Snapshot()
+		fmt.Printf("rep %d: off p99 %7.3fms mean %7.3fms | on p99 %7.3fms mean %7.3fms\n",
+			r, off.P99Ms, off.MeanMs, on.P99Ms, on.MeanMs)
+	}
+	report.Metrics = lastSnap
+	minArm := func(a *obsCompareArm) {
+		a.P99Ms, a.MeanMs = a.Reps[0].P99Ms, a.Reps[0].MeanMs
+		for _, r := range a.Reps[1:] {
+			if r.P99Ms < a.P99Ms {
+				a.P99Ms = r.P99Ms
+			}
+			if r.MeanMs < a.MeanMs {
+				a.MeanMs = r.MeanMs
+			}
+		}
+	}
+	minArm(&report.Off)
+	minArm(&report.On)
+	if report.Off.P99Ms > 0 {
+		report.RatioP99 = report.On.P99Ms / report.Off.P99Ms
+	}
+	report.WithinTolerance = report.RatioP99 <= 1+cfg.Tolerance
+	fmt.Printf("obs-compare: off p99 %.3fms, on p99 %.3fms, ratio %.3f (tolerance %.0f%%): within=%v\n",
+		report.Off.P99Ms, report.On.P99Ms, report.RatioP99, 100*cfg.Tolerance, report.WithinTolerance)
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.Out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.Out)
+	if !report.WithinTolerance {
+		return fmt.Errorf("obs overhead gate: on p99 %.3fms vs off %.3fms exceeds %.0f%% tolerance",
+			report.On.P99Ms, report.Off.P99Ms, 100*cfg.Tolerance)
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 
 	"irs/internal/ids"
 	"irs/internal/ledger"
+	"irs/internal/obs"
 	"irs/internal/parallel"
 	"irs/internal/proxy"
 	"irs/internal/wire"
@@ -64,6 +65,10 @@ type serveArm struct {
 	P99Ms     float64 `json:"p99_ms"`
 	MeanMs    float64 `json:"mean_ms"`
 	WallMs    float64 `json:"wall_ms"`
+	// Metrics is the arm's obs registry snapshot: the proxy's outcome
+	// counters and stage latencies plus (on http arms) the wire client's
+	// per-RPC series, all interned in one per-arm registry.
+	Metrics []obs.SeriesSnapshot `json:"metrics,omitempty"`
 }
 
 // serveReport is the BENCH_serving.json document.
@@ -83,10 +88,11 @@ type serveReport struct {
 }
 
 // serveLedger is one prepared backend: a populated ledger plus both
-// transports.
+// transports. url lets arms build their own instrumented clients.
 type serveLedger struct {
 	l      *ledger.Ledger
 	ids    []ids.PhotoID
+	url    string
 	http   *wire.Client
 	direct *wire.Loopback
 	close  func()
@@ -146,6 +152,7 @@ func setupServeLedger(cfg serveConfig, shards int) (*serveLedger, error) {
 	return &serveLedger{
 		l:      l,
 		ids:    population,
+		url:    "http://" + ln.Addr().String(),
 		http:   wire.NewClient("http://"+ln.Addr().String(), ""),
 		direct: &wire.Loopback{L: l},
 		close: func() {
@@ -158,8 +165,18 @@ func setupServeLedger(cfg serveConfig, shards int) (*serveLedger, error) {
 // runServeArm drives one arm: cfg.Workers goroutines each validate
 // cfg.Pages pages of cfg.Batch Zipf-drawn identifiers, per-image or
 // batched, and record per-page latency.
-func runServeArm(cfg serveConfig, name string, backend *serveLedger, svc wire.Service, transport string, batch bool, shards, stripes int) (serveArm, error) {
-	v := proxy.NewValidator(proxy.Config{Stripes: stripes}, func(id ids.PhotoID) (*ledger.StatusProof, error) {
+func runServeArm(cfg serveConfig, name string, backend *serveLedger, transport string, batch bool, shards, stripes int) (serveArm, error) {
+	// One registry per arm: the proxy's outcome/latency series and (over
+	// HTTP) the wire client's per-RPC series land together, so the arm's
+	// Metrics block is self-contained and arms never share counters.
+	reg := obs.NewRegistry()
+	var svc wire.Service
+	if transport == "http" {
+		svc = wire.NewClientOpts(backend.url, "", wire.ClientOptions{Obs: reg})
+	} else {
+		svc = backend.direct
+	}
+	v := proxy.NewValidator(proxy.Config{Stripes: stripes, Obs: reg}, func(id ids.PhotoID) (*ledger.StatusProof, error) {
 		return svc.Status(id)
 	})
 	v.SetBatchQuery(func(_ ids.LedgerID, page []ids.PhotoID) ([]*ledger.StatusProof, error) {
@@ -231,6 +248,7 @@ func runServeArm(cfg serveConfig, name string, backend *serveLedger, svc wire.Se
 	}
 	totalIDs := float64(len(all) * cfg.Batch)
 	return serveArm{
+		Metrics:   reg.Snapshot(),
 		Arm:       name,
 		Transport: transport,
 		Batch:     batch,
@@ -263,18 +281,17 @@ func runServe(cfg serveConfig) error {
 	arms := []struct {
 		name      string
 		backend   *serveLedger
-		svc       func(*serveLedger) wire.Service
 		transport string
 		batch     bool
 		shards    int
 		stripes   int
 	}{
-		{"http/per-id/single-lock", single, func(b *serveLedger) wire.Service { return b.http }, "http", false, 1, 1},
-		{"http/per-id/sharded", sharded, func(b *serveLedger) wire.Service { return b.http }, "http", false, 64, 16},
-		{"http/batch/single-lock", single, func(b *serveLedger) wire.Service { return b.http }, "http", true, 1, 1},
-		{"http/batch/sharded", sharded, func(b *serveLedger) wire.Service { return b.http }, "http", true, 64, 16},
-		{"direct/per-id/sharded", sharded, func(b *serveLedger) wire.Service { return b.direct }, "direct", false, 64, 16},
-		{"direct/batch/sharded", sharded, func(b *serveLedger) wire.Service { return b.direct }, "direct", true, 64, 16},
+		{"http/per-id/single-lock", single, "http", false, 1, 1},
+		{"http/per-id/sharded", sharded, "http", false, 64, 16},
+		{"http/batch/single-lock", single, "http", true, 1, 1},
+		{"http/batch/sharded", sharded, "http", true, 64, 16},
+		{"direct/per-id/sharded", sharded, "direct", false, 64, 16},
+		{"direct/batch/sharded", sharded, "direct", true, 64, 16},
 	}
 
 	report := serveReport{
@@ -290,7 +307,7 @@ func runServe(cfg serveConfig) error {
 	}
 	var baseline, headline float64
 	for _, a := range arms {
-		res, err := runServeArm(cfg, a.name, a.backend, a.svc(a.backend), a.transport, a.batch, a.shards, a.stripes)
+		res, err := runServeArm(cfg, a.name, a.backend, a.transport, a.batch, a.shards, a.stripes)
 		if err != nil {
 			return err
 		}
@@ -303,6 +320,7 @@ func runServe(cfg serveConfig) error {
 		}
 		fmt.Printf("%-26s %9.0f ids/s  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms\n",
 			res.Arm, res.IDsPerSec, res.P50Ms, res.P95Ms, res.P99Ms)
+		fmt.Printf("%-26s %s\n", "", obsLine(res.Metrics))
 	}
 	if baseline > 0 {
 		report.Speedup = headline / baseline
@@ -318,4 +336,17 @@ func runServe(cfg serveConfig) error {
 	}
 	fmt.Printf("wrote %s\n", cfg.Out)
 	return nil
+}
+
+// obsLine compresses a registry snapshot into one terminal line: the
+// validation total, the ledger-query count, and the p99 of the
+// ledger-query validation path (the latency these harnesses exercise).
+func obsLine(snap []obs.SeriesSnapshot) string {
+	total, _ := obs.Value(snap, "irs_proxy_validations_total")
+	queries, _ := obs.Value(snap, "irs_proxy_outcomes_total", obs.L("outcome", "ledger_query"))
+	if h, ok := obs.Hist(snap, "irs_proxy_validate_seconds", obs.L("outcome", "ledger_query")); ok && h.Count > 0 {
+		return fmt.Sprintf("obs: validations=%.0f ledger_queries=%.0f validate_p99=%.2fms",
+			total, queries, h.P99*1000)
+	}
+	return fmt.Sprintf("obs: validations=%.0f ledger_queries=%.0f", total, queries)
 }

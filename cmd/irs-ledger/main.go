@@ -61,6 +61,7 @@ func main() {
 		snapInterval  = flag.Duration("snapshot-interval", time.Hour, "revocation filter snapshot rebuild interval")
 		fpr           = flag.Float64("filter-fpr", 0.02, "filter snapshot target false-positive rate")
 		enableAppeals = flag.Bool("appeals", true, "serve the public /v1/appeal complaint endpoint")
+		debug         = flag.Bool("debug", false, "mount GET /debug/metrics (Prometheus text) and /debug/pprof")
 	)
 	flag.Var(trusted, "trust-ledger", "peer ledger whose timestamps appeals accept, as id=url (repeatable)")
 	flag.Parse()
@@ -108,7 +109,7 @@ func main() {
 		}
 	}()
 
-	handler := http.Handler(wire.NewServer(l, *adminToken))
+	handler := http.Handler(wire.NewServerOpts(l, *adminToken, wire.ServerOptions{Debug: *debug}))
 	if *enableAppeals {
 		adj := appeals.NewAdjudicator(l, nil)
 		for peerID, url := range trusted {

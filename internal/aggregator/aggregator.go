@@ -143,6 +143,9 @@ type Config struct {
 	CustodialLedgerURL string
 	// Watermark configures label extraction/embedding.
 	Watermark watermark.Config
+	// Index parameterizes the robust-hash database, including its
+	// optional observability registry (IndexConfig.Obs).
+	Index IndexConfig
 }
 
 type hosted struct {
@@ -208,7 +211,7 @@ func New(cfg Config, dir *wire.Directory) (*Aggregator, error) {
 		clock:   cfg.Clock,
 		photos:  make(map[ids.PhotoID]*hosted),
 		keys:    camera.NewKeyStore(""),
-		hashIdx: NewSigIndex(IndexConfig{}),
+		hashIdx: NewSigIndex(cfg.Index),
 		metrics: Metrics{
 			Denied: make(map[DenyReason]uint64),
 		},

@@ -41,8 +41,10 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"irs/internal/ids"
+	"irs/internal/obs"
 	"irs/internal/parallel"
 	"irs/internal/phash"
 )
@@ -77,6 +79,34 @@ type IndexConfig struct {
 	// MaxTail is the unindexed-tail length that triggers a band-table
 	// rebuild. Zero means defaultMaxTail.
 	MaxTail int
+	// Obs, when non-nil, interns the index's irs_index_* series
+	// (lookup latency, candidate/verify counts, rebuild/compaction
+	// events, entry gauges) in the given registry. nil disables
+	// instrumentation at zero lookup cost.
+	Obs *obs.Registry
+}
+
+// indexObs holds the pre-interned instruments; nil disables.
+type indexObs struct {
+	lookupSec             *obs.Histogram
+	hits, misses          *obs.Counter
+	candidates, verified  *obs.Counter
+	rebuilds, compactions *obs.Counter
+	entries, live         *obs.Gauge
+}
+
+func newIndexObs(reg *obs.Registry) *indexObs {
+	return &indexObs{
+		lookupSec:   reg.Histogram("irs_index_lookup_seconds", nil),
+		hits:        reg.Counter("irs_index_lookups_total", obs.L("result", "hit")),
+		misses:      reg.Counter("irs_index_lookups_total", obs.L("result", "miss")),
+		candidates:  reg.Counter("irs_index_candidates_total"),
+		verified:    reg.Counter("irs_index_verified_total"),
+		rebuilds:    reg.Counter("irs_index_rebuilds_total"),
+		compactions: reg.Counter("irs_index_compactions_total"),
+		entries:     reg.Gauge("irs_index_entries"),
+		live:        reg.Gauge("irs_index_live"),
+	}
 }
 
 // hashEntry is one stored signature with the identifier it resolves to.
@@ -149,6 +179,8 @@ type SigIndex struct {
 	pos         map[ids.PhotoID][]int32
 	rebuilds    int
 	compactions int
+
+	obs *indexObs // nil when IndexConfig.Obs was nil
 }
 
 // NewSigIndex creates an empty index.
@@ -169,6 +201,9 @@ func NewSigIndex(cfg IndexConfig) *SigIndex {
 		cfg:   cfg,
 		radii: phash.BandRadii(phash.DefaultThreshold, cfg.Bands),
 		pos:   make(map[ids.PhotoID][]int32),
+	}
+	if cfg.Obs != nil {
+		x.obs = newIndexObs(cfg.Obs)
 	}
 	x.cur.Store(&indexSnapshot{})
 	return x
@@ -237,8 +272,22 @@ func (x *SigIndex) addLocked(batch []hashEntry) {
 	if len(entries)-indexed >= x.cfg.MaxTail {
 		next.table = x.buildTable(entries)
 		x.rebuilds++
+		if x.obs != nil {
+			x.obs.rebuilds.Inc()
+		}
 	}
 	x.cur.Store(next)
+	x.publishGauges(next)
+}
+
+// publishGauges mirrors snapshot shape onto the entry gauges; called
+// with the writer mutex held.
+func (x *SigIndex) publishGauges(s *indexSnapshot) {
+	if x.obs == nil {
+		return
+	}
+	x.obs.entries.Set(int64(len(s.entries)))
+	x.obs.live.Set(int64(len(s.entries) - s.deadCount))
 }
 
 // Remove tombstones every entry recorded under id, returning how many
@@ -269,6 +318,7 @@ func (x *SigIndex) Remove(id ids.PhotoID) int {
 		x.compactLocked(next)
 	}
 	x.cur.Store(next)
+	x.publishGauges(next)
 	return len(positions)
 }
 
@@ -295,6 +345,9 @@ func (x *SigIndex) compactLocked(next *indexSnapshot) {
 		next.table = x.buildTable(live)
 	}
 	x.compactions++
+	if x.obs != nil {
+		x.obs.compactions.Inc()
+	}
 }
 
 // buildTable constructs the 3×Bands CSR bucket tables over entries.
@@ -341,27 +394,58 @@ func (x *SigIndex) buildTable(entries []hashEntry) *bandTable {
 // whose signature Matches sig. Lock-free; results are identical to
 // LookupLinear.
 func (x *SigIndex) Lookup(sig phash.Signature) (ids.PhotoID, bool) {
+	var start time.Time
+	if x.obs != nil {
+		start = time.Now()
+	}
+	id, ok, cand, verified := x.lookup(sig)
+	if x.obs != nil {
+		x.obs.lookupSec.Observe(time.Since(start).Seconds())
+		x.obs.candidates.Add(uint64(cand))
+		x.obs.verified.Add(uint64(verified))
+		if ok {
+			x.obs.hits.Inc()
+		} else {
+			x.obs.misses.Inc()
+		}
+	}
+	return id, ok
+}
+
+// lookup runs the banded probe plus linear tail, returning the match
+// along with how many banded candidates were produced and how many
+// exact Matches verifications ran (banded candidates checked plus tail
+// entries compared).
+func (x *SigIndex) lookup(sig phash.Signature) (ids.PhotoID, bool, int, int) {
 	s := x.cur.Load()
 	tailStart := 0
+	cand, verified := 0, 0
 	if t := s.table; t != nil {
 		tailStart = t.n
-		if id, ok := s.lookupIndexed(sig, t); ok {
-			return id, true
+		id, ok, c, v := s.lookupIndexed(sig, t)
+		cand, verified = c, v
+		if ok {
+			return id, true, cand, verified
 		}
 	}
 	// Linear tail: every index here is above any banded candidate, so
 	// a banded hit always wins insertion order over the tail.
 	for i := tailStart; i < len(s.entries); i++ {
-		if !s.isDead(i) && s.entries[i].sig.Matches(sig) {
-			return s.entries[i].id, true
+		if s.isDead(i) {
+			continue
+		}
+		verified++
+		if s.entries[i].sig.Matches(sig) {
+			return s.entries[i].id, true, cand, verified
 		}
 	}
-	return ids.PhotoID{}, false
+	return ids.PhotoID{}, false, cand, verified
 }
 
 // lookupIndexed probes the band tables for the earliest live match in
-// entries[:t.n].
-func (s *indexSnapshot) lookupIndexed(sig phash.Signature, t *bandTable) (ids.PhotoID, bool) {
+// entries[:t.n]. The two trailing returns are the candidate count and
+// the number of exact Matches verifications performed.
+func (s *indexSnapshot) lookupIndexed(sig phash.Signature, t *bandTable) (ids.PhotoID, bool, int, int) {
 	words := (t.n + 63) / 64
 	sc := scratchPool.Get().(*lookupScratch)
 	for k := range sc.marks {
@@ -413,15 +497,20 @@ func (s *indexSnapshot) lookupIndexed(sig phash.Signature, t *bandTable) (ids.Ph
 	sc.cand = cand
 	// Candidates are ascending: the first verified live hit is the
 	// exact linear-scan answer.
+	verified := 0
 	for _, i := range cand {
-		if !s.isDead(int(i)) && s.entries[i].sig.Matches(sig) {
+		if s.isDead(int(i)) {
+			continue
+		}
+		verified++
+		if s.entries[i].sig.Matches(sig) {
 			id := s.entries[i].id
 			scratchPool.Put(sc)
-			return id, true
+			return id, true, len(cand), verified
 		}
 	}
 	scratchPool.Put(sc)
-	return ids.PhotoID{}, false
+	return ids.PhotoID{}, false, len(cand), verified
 }
 
 // LookupLinear is the reference O(n) scan over the same snapshot, kept

@@ -152,13 +152,15 @@ func E2LedgerLoad(scale Scale, seed int64) (*Report, error) {
 		if arm.filter != nil {
 			v.SetFilter(1, arm.filter.epoch, arm.filter.f.Clone())
 		}
-		l.ResetQueryCount()
+		// Phase load is the counter delta across the arm — the counters
+		// themselves are monotone and shared with /debug/metrics.
+		before := l.Metrics().Queries
 		for _, id := range views {
 			if _, err := v.Validate(id); err != nil {
 				return nil, err
 			}
 		}
-		q := l.Metrics().Queries
+		q := l.Metrics().Queries - before
 		if arm.name == "direct (no proxy)" {
 			direct = q
 		}

@@ -48,6 +48,7 @@ import (
 
 	"irs/internal/bloom"
 	"irs/internal/ids"
+	"irs/internal/obs"
 	"irs/internal/parallel"
 	"irs/internal/tsa"
 )
@@ -146,6 +147,10 @@ type Config struct {
 	// under the identifier-issue lock, so a plain *math/rand.Rand is
 	// fine.
 	Rand io.Reader
+	// Obs is the metrics registry the ledger's counters are interned
+	// in (series irs_ledger_*_total{ledger=...}); nil means a private
+	// registry, which keeps Metrics() working at identical cost.
+	Obs *obs.Registry
 }
 
 // Ledger is a single ledger instance. Safe for concurrent use.
@@ -175,7 +180,8 @@ type Ledger struct {
 	snapOrder  []uint64
 	maxHistory int
 
-	metrics Metrics
+	obsReg  *obs.Registry
+	metrics metrics
 }
 
 // Ledger errors.
@@ -216,9 +222,15 @@ func New(cfg Config) (*Ledger, error) {
 		hist = 25
 	}
 	cfg.Shards = normalizeShards(cfg.Shards)
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	l := &Ledger{
 		cfg:        cfg,
 		clock:      clock,
+		obsReg:     reg,
+		metrics:    newMetrics(reg, cfg.ID),
 		shards:     newShards(cfg.Shards),
 		shardMask:  uint64(cfg.Shards - 1),
 		tsa:        authority,
@@ -351,7 +363,7 @@ func (l *Ledger) claim(contentHash [32]byte, pub ed25519.PublicKey, hashSig []by
 	if rec.State == StateRevoked {
 		sh.revoked[id] = true
 	}
-	l.metrics.Claims.Add(1)
+	l.metrics.claims.Inc()
 	if l.wal != nil {
 		// Logged under the shard lock so a concurrent op on this claim
 		// cannot reach the WAL before the claim entry it depends on.
@@ -438,7 +450,7 @@ func (l *Ledger) Apply(id ids.PhotoID, op Op, sig []byte) error {
 		delete(sh.revoked, id)
 	}
 	rec.OpSeq = next
-	l.metrics.Ops.Add(1)
+	l.metrics.ops.Inc()
 	if l.wal != nil {
 		if err := l.wal.logOp(id, op, next); err != nil {
 			rec.State = prev
@@ -499,7 +511,7 @@ func (l *Ledger) Status(id ids.PhotoID) (*StatusProof, error) {
 		st = rec.State
 	}
 	sh.mu.RUnlock()
-	l.metrics.Queries.Add(1)
+	l.metrics.queries.Inc()
 	return l.signStatus(id, st), nil
 }
 
@@ -549,7 +561,7 @@ func (l *Ledger) StatusBatch(batch []ids.PhotoID) ([]*StatusProof, error) {
 		}
 		sh.mu.RUnlock()
 	}
-	l.metrics.Queries.Add(uint64(n))
+	l.metrics.queries.Add(uint64(n))
 	at := l.clock().UTC()
 	proofs := make([]*StatusProof, n)
 	parallel.Do(n, func(i int) {

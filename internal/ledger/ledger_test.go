@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"irs/internal/ids"
+	"irs/internal/obs"
 )
 
 // owner is a test helper playing the camera-side role: a per-photo
@@ -366,9 +367,18 @@ func TestMetrics(t *testing.T) {
 	if m.Claims != 2 || m.Ops != 1 || m.Queries != 1 {
 		t.Errorf("metrics = %+v", m)
 	}
-	l.ResetQueryCount()
-	if l.Metrics().Queries != 0 {
-		t.Error("query reset failed")
+	// Phase measurement is by snapshot delta, not reset.
+	before := l.Metrics()
+	if _, err := l.Status(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	if d := l.Metrics().Queries - before.Queries; d != 1 {
+		t.Errorf("query delta = %d, want 1", d)
+	}
+	// The same counters are visible on the registry as Prometheus series.
+	snap := l.Registry().Snapshot()
+	if v, ok := obs.Value(snap, "irs_ledger_queries_total", obs.L("ledger", "1")); !ok || v != 2 {
+		t.Errorf("registry queries = %v (ok=%v), want 2", v, ok)
 	}
 }
 

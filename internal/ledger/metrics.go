@@ -1,17 +1,36 @@
 package ledger
 
-import "sync/atomic"
+import (
+	"strconv"
 
-// Metrics counts ledger operations. E2 reads Queries to measure the load
-// reduction the proxy/filter stack achieves; a real deployment would
-// export these to a metrics system.
-type Metrics struct {
-	Claims  atomic.Uint64
-	Ops     atomic.Uint64
-	Queries atomic.Uint64
+	"irs/internal/ids"
+	"irs/internal/obs"
+)
+
+// metrics holds the ledger's interned obs instruments. The counters
+// live in an obs.Registry (shared when Config.Obs is set, private
+// otherwise) so the same numbers that experiments read also appear on
+// /debug/metrics; the struct itself is just the pre-interned pointers
+// the hot paths increment.
+type metrics struct {
+	claims  *obs.Counter
+	ops     *obs.Counter
+	queries *obs.Counter
 }
 
-// MetricsSnapshot is a plain-value copy of the counters.
+func newMetrics(reg *obs.Registry, id ids.LedgerID) metrics {
+	l := obs.L("ledger", strconv.FormatUint(uint64(id), 10))
+	return metrics{
+		claims:  reg.Counter("irs_ledger_claims_total", l),
+		ops:     reg.Counter("irs_ledger_ops_total", l),
+		queries: reg.Counter("irs_ledger_queries_total", l),
+	}
+}
+
+// MetricsSnapshot is a plain-value copy of the counters. E2 measures
+// the load reduction the proxy/filter stack achieves by taking a
+// snapshot before and after a phase and differencing Queries — the
+// counters themselves are never reset.
 type MetricsSnapshot struct {
 	Claims  uint64
 	Ops     uint64
@@ -21,12 +40,12 @@ type MetricsSnapshot struct {
 // Metrics returns a point-in-time copy of the counters.
 func (l *Ledger) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
-		Claims:  l.metrics.Claims.Load(),
-		Ops:     l.metrics.Ops.Load(),
-		Queries: l.metrics.Queries.Load(),
+		Claims:  l.metrics.claims.Load(),
+		Ops:     l.metrics.ops.Load(),
+		Queries: l.metrics.queries.Load(),
 	}
 }
 
-// ResetQueryCount zeroes the query counter; experiments call this
-// between phases.
-func (l *Ledger) ResetQueryCount() { l.metrics.Queries.Store(0) }
+// Registry returns the observability registry this ledger's counters
+// live in (the one passed as Config.Obs, or the private default).
+func (l *Ledger) Registry() *obs.Registry { return l.obsReg }

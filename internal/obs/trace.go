@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records per-request stage spans into a fixed ring buffer.
+// Time comes exclusively from the injected clock, so a run driven by a
+// frozen or scripted clock produces byte-identical dumps — the
+// determinism contract the chaos harness checks. A nil *Tracer is the
+// disabled state: Start returns a nil *Trace whose methods are all
+// no-ops, so call sites need no branches.
+//
+// A Trace is built by one request goroutine (Stage/Notef/End are not
+// synchronized); the Tracer itself is safe for concurrent use — Start
+// and End take the ring lock.
+type Tracer struct {
+	clock func() time.Time
+	cap   int
+
+	mu    sync.Mutex
+	ring  []*Trace // completed traces, oldest first once wrapped
+	next  int      // ring write position
+	total uint64   // traces started, also the ID source
+}
+
+// NewTracer creates a tracer retaining the last capacity completed
+// traces (capacity <= 0 means 256). clock nil means time.Now;
+// experiments inject seeded or frozen clocks.
+func NewTracer(capacity int, clock func() time.Time) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Tracer{clock: clock, cap: capacity, ring: make([]*Trace, 0, capacity)}
+}
+
+// Span is one named stage of a request.
+type Span struct {
+	Stage string
+	// Begin and End are offsets from the trace start (stable under a
+	// frozen clock, and what the text dump prints).
+	Begin, End time.Duration
+	Note       string
+}
+
+// Trace is one request's span record. Built by a single goroutine;
+// immutable after End.
+type Trace struct {
+	tr    *Tracer
+	ID    uint64
+	Name  string
+	Start time.Time
+	Total time.Duration
+	Spans []Span
+	open  bool // a span is currently open
+}
+
+// Start begins a new trace. On a nil Tracer it returns nil, and every
+// *Trace method tolerates a nil receiver.
+func (tr *Tracer) Start(name string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	tr.total++
+	id := tr.total
+	tr.mu.Unlock()
+	return &Trace{tr: tr, ID: id, Name: name, Start: tr.clock()}
+}
+
+// Stage closes the open span (if any) and opens a new one.
+func (t *Trace) Stage(stage string) {
+	if t == nil {
+		return
+	}
+	now := t.tr.clock().Sub(t.Start)
+	t.closeSpan(now)
+	t.Spans = append(t.Spans, Span{Stage: stage, Begin: now})
+	t.open = true
+}
+
+// Notef annotates the open span.
+func (t *Trace) Notef(format string, args ...any) {
+	if t == nil || !t.open {
+		return
+	}
+	s := &t.Spans[len(t.Spans)-1]
+	if s.Note != "" {
+		s.Note += " "
+	}
+	s.Note += fmt.Sprintf(format, args...)
+}
+
+// closeSpan stamps the open span's end offset.
+func (t *Trace) closeSpan(now time.Duration) {
+	if t.open {
+		t.Spans[len(t.Spans)-1].End = now
+		t.open = false
+	}
+}
+
+// End closes the trace and commits it to the tracer's ring. Calling
+// End twice commits once (the second call is ignored).
+func (t *Trace) End() {
+	if t == nil || t.tr == nil {
+		return
+	}
+	now := t.tr.clock().Sub(t.Start)
+	t.closeSpan(now)
+	t.Total = now
+	tr := t.tr
+	t.tr = nil
+	tr.mu.Lock()
+	if len(tr.ring) < tr.cap {
+		tr.ring = append(tr.ring, t)
+	} else {
+		tr.ring[tr.next] = t
+	}
+	tr.next = (tr.next + 1) % tr.cap
+	tr.mu.Unlock()
+}
+
+// Recent returns the retained traces, most recently completed last.
+func (tr *Tracer) Recent() []*Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*Trace, 0, len(tr.ring))
+	if len(tr.ring) < tr.cap {
+		out = append(out, tr.ring...)
+	} else {
+		out = append(out, tr.ring[tr.next:]...)
+		out = append(out, tr.ring[:tr.next]...)
+	}
+	return out
+}
+
+// Dump writes the retained traces as text, ordered by trace ID (the
+// ring's completion order can depend on goroutine scheduling; the ID
+// order is the request-start order, which a seeded run reproduces).
+func (tr *Tracer) Dump(w io.Writer) {
+	if tr == nil {
+		return
+	}
+	traces := tr.Recent()
+	sort.Slice(traces, func(a, b int) bool { return traces[a].ID < traces[b].ID })
+	for _, t := range traces {
+		fmt.Fprintf(w, "trace %d %s total=%s spans=%d\n", t.ID, t.Name, t.Total, len(t.Spans))
+		for _, s := range t.Spans {
+			fmt.Fprintf(w, "  %-10s %12s..%-12s", s.Stage, s.Begin, s.End)
+			if s.Note != "" {
+				fmt.Fprintf(w, " %s", s.Note)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// DumpString renders Dump to a string.
+func (tr *Tracer) DumpString() string {
+	var sb strings.Builder
+	tr.Dump(&sb)
+	return sb.String()
+}

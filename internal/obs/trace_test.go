@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptClock returns a clock advancing a fixed step per call.
+func scriptClock(step time.Duration) func() time.Time {
+	base := time.Unix(1_700_000_000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * step)
+	}
+}
+
+func TestTraceStagesAndDump(t *testing.T) {
+	tr := NewTracer(8, scriptClock(time.Millisecond))
+	tc := tr.Start("validate")
+	tc.Stage("filter")
+	tc.Notef("hit=%v", false)
+	tc.Stage("cache")
+	tc.Stage("upstream")
+	tc.Notef("ledger=%d", 3)
+	tc.End()
+	tc.End() // idempotent: must not commit twice
+
+	got := tr.Recent()
+	if len(got) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(got))
+	}
+	if len(got[0].Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(got[0].Spans))
+	}
+	for i, s := range got[0].Spans {
+		if s.End <= s.Begin {
+			t.Errorf("span %d not closed: begin=%v end=%v", i, s.Begin, s.End)
+		}
+	}
+	dump := tr.DumpString()
+	for _, want := range []string{"trace 1 validate", "filter", "hit=false", "ledger=3"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestTracerRingRetention(t *testing.T) {
+	frozen := func() time.Time { return time.Unix(0, 0) }
+	tr := NewTracer(3, frozen)
+	for i := 0; i < 5; i++ {
+		tr.Start("r").End()
+	}
+	got := tr.Recent()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	// Oldest-first after wrap: IDs 3,4,5.
+	for i, tc := range got {
+		if want := uint64(i + 3); tc.ID != want {
+			t.Errorf("ring[%d].ID = %d, want %d", i, tc.ID, want)
+		}
+	}
+}
+
+func TestTracerDumpOrderedByID(t *testing.T) {
+	frozen := func() time.Time { return time.Unix(0, 0) }
+	tr := NewTracer(8, frozen)
+	a := tr.Start("a")
+	b := tr.Start("b")
+	b.End() // completes before a — dump must still list a (ID 1) first
+	a.End()
+	dump := tr.DumpString()
+	if strings.Index(dump, "trace 1 a") > strings.Index(dump, "trace 2 b") {
+		t.Fatalf("dump not ID-ordered:\n%s", dump)
+	}
+}
+
+func TestNilTracerAndTraceAreNoops(t *testing.T) {
+	var tr *Tracer
+	tc := tr.Start("x")
+	if tc != nil {
+		t.Fatal("nil tracer returned a non-nil trace")
+	}
+	// All of these must be safe on nil receivers.
+	tc.Stage("s")
+	tc.Notef("n %d", 1)
+	tc.End()
+	if got := tr.Recent(); got != nil {
+		t.Fatalf("nil tracer Recent = %v", got)
+	}
+	var sb strings.Builder
+	tr.Dump(&sb)
+	if sb.Len() != 0 {
+		t.Fatal("nil tracer dumped output")
+	}
+}
+
+func TestFrozenClockDumpIsReproducible(t *testing.T) {
+	run := func() string {
+		frozen := func() time.Time { return time.Unix(42, 0) }
+		tr := NewTracer(16, frozen)
+		for i := 0; i < 4; i++ {
+			tc := tr.Start("req")
+			tc.Stage("cache")
+			tc.Stage("upstream")
+			tc.End()
+		}
+		return tr.DumpString()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-script runs produced different dumps:\n%s\n---\n%s", a, b)
+	}
+}

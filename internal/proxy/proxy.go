@@ -33,6 +33,7 @@ import (
 	"irs/internal/bloom"
 	"irs/internal/ids"
 	"irs/internal/ledger"
+	"irs/internal/obs"
 	"irs/internal/parallel"
 	"irs/internal/wire"
 )
@@ -90,31 +91,6 @@ type QueryFunc func(ids.PhotoID) (*ledger.StatusProof, error)
 // upstream round trip (wire.Service.StatusBatch). Proofs come back in
 // request order, one per identifier.
 type BatchQueryFunc func(lid ids.LedgerID, batch []ids.PhotoID) ([]*ledger.StatusProof, error)
-
-// Stats counts outcomes.
-type Stats struct {
-	Total         atomic.Uint64
-	FilterMisses  atomic.Uint64
-	CacheHits     atomic.Uint64
-	LedgerQueries atomic.Uint64
-	// Degradation counters: stale proofs served under FailOpenFresh,
-	// validations that could not be answered at all, and requests the
-	// circuit breaker failed fast without touching the ledger.
-	StaleServed      atomic.Uint64
-	Unavailable      atomic.Uint64
-	BreakerFastFails atomic.Uint64
-}
-
-// StatsSnapshot is a plain-value copy.
-type StatsSnapshot struct {
-	Total            uint64 `json:"total"`
-	FilterMisses     uint64 `json:"filter_misses"`
-	CacheHits        uint64 `json:"cache_hits"`
-	LedgerQueries    uint64 `json:"ledger_queries"`
-	StaleServed      uint64 `json:"stale_served"`
-	Unavailable      uint64 `json:"unavailable"`
-	BreakerFastFails uint64 `json:"breaker_fast_fails"`
-}
 
 // DegradeMode selects what the proxy answers when a ledger cannot be
 // reached (transport failure, retries exhausted, or breaker open).
@@ -179,6 +155,16 @@ type Config struct {
 	Breaker BreakerConfig
 	// Clock supplies time; nil means time.Now.
 	Clock func() time.Time
+	// Obs is the metrics registry the validator's series are interned
+	// in. nil keeps the counters in a private registry and disables
+	// latency histograms, so the hot path costs exactly what the
+	// pre-obs Stats struct did; set it to share series with the wire
+	// server's /debug/metrics and to collect per-outcome latency.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records per-request stage spans
+	// (filter → cache → upstream → degrade). nil disables tracing with
+	// no hot-path branches beyond the nil-receiver checks.
+	Tracer *obs.Tracer
 }
 
 // defaultStripes matches a modest serving proxy: enough stripes that
@@ -219,7 +205,9 @@ type Validator struct {
 	fset  atomic.Pointer[filterSet]
 	setMu sync.Mutex
 
-	stats Stats
+	obsReg *obs.Registry
+	tracer *obs.Tracer
+	st     stats
 
 	// sf stripes the singleflight table by identifier hash.
 	sf     []sfStripe
@@ -257,10 +245,17 @@ func NewValidator(cfg Config, query QueryFunc) *Validator {
 		stale = cfg.Degrade.StaleTTL
 	}
 	n := normalizeStripes(cfg.Stripes)
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	v := &Validator{
 		cfg:      cfg,
 		query:    query,
 		cache:    newCache(cfg.CacheCapacity, cfg.CacheTTL, stale, cfg.Clock, cfg.Stripes),
+		obsReg:   reg,
+		tracer:   cfg.Tracer,
+		st:       newStats(reg, cfg.Obs != nil, cfg.Clock),
 		sf:       make([]sfStripe, n),
 		sfMask:   uint64(n - 1),
 		breakers: make(map[ids.LedgerID]*breaker),
@@ -323,39 +318,61 @@ func (v *Validator) mightBeRevoked(id ids.PhotoID) bool {
 var ErrNoQuery = errors.New("proxy: no ledger query configured")
 
 // Validate answers whether the photo may be displayed, consulting the
-// filter, then the cache, then the ledger.
+// filter, then the cache, then the ledger. Every call lands in exactly
+// one outcome counter (see the conservation invariant on outcome).
 func (v *Validator) Validate(id ids.PhotoID) (Result, error) {
-	v.stats.Total.Add(1)
-	if v.cfg.UseFilter && !v.mightBeRevoked(id) {
-		v.stats.FilterMisses.Add(1)
-		return Result{State: ledger.StateActive, Source: SourceFilter}, nil
+	v.st.total.Inc()
+	start := v.st.begin()
+	tr := v.tracer.Start("validate")
+	defer tr.End()
+	if v.cfg.UseFilter {
+		tr.Stage("filter")
+		if !v.mightBeRevoked(id) {
+			tr.Notef("miss")
+			v.st.done(outFilterMiss, start)
+			return Result{State: ledger.StateActive, Source: SourceFilter}, nil
+		}
 	}
+	tr.Stage("cache")
 	if p := v.cache.get(id); p != nil {
-		v.stats.CacheHits.Add(1)
+		tr.Notef("hit")
+		v.st.done(outCacheHit, start)
 		return Result{State: p.State, Source: SourceCache, Proof: p}, nil
 	}
+	tr.Stage("upstream")
 	p, err := v.queryOnce(id)
 	if err != nil {
-		return v.degrade(id, err)
+		tr.Stage("degrade")
+		res, o, derr := v.degrade(id, err)
+		tr.Notef("%s", outcomeNames[o])
+		v.st.done(o, start)
+		return res, derr
 	}
 	v.cache.put(id, p)
+	// Singleflight waiters count here too: their occurrence was
+	// answered by a ledger round trip (Source says so), even though
+	// the table collapsed it into another caller's request.
+	v.st.done(outLedgerQuery, start)
 	return Result{State: p.State, Source: SourceLedger, Proof: p}, nil
 }
 
 // degrade answers a validation whose upstream resolution failed,
-// according to the configured DegradePolicy. FailOpenFresh serves an
-// expired cached proof inside the staleness bound when one exists;
-// otherwise (and always under FailClosed) the upstream error
-// propagates and the validation counts as Unavailable.
-func (v *Validator) degrade(id ids.PhotoID, err error) (Result, error) {
+// according to the configured DegradePolicy, and classifies the
+// occurrence: a stale answer under FailOpenFresh is StaleServed, a
+// breaker fast-fail that found no stale fallback is BreakerFastFails,
+// and any other unanswered validation is Unavailable. Exactly one
+// outcome per call keeps the conservation invariant exact (the old
+// code counted an open breaker in querySF and then again here).
+func (v *Validator) degrade(id ids.PhotoID, err error) (Result, outcome, error) {
 	if v.cfg.Degrade.Mode == DegradeFailOpenFresh {
 		if p := v.cache.getStale(id); p != nil {
-			v.stats.StaleServed.Add(1)
-			return Result{State: p.State, Source: SourceStale, Proof: p}, nil
+			return Result{State: p.State, Source: SourceStale, Proof: p}, outStaleServed, nil
 		}
 	}
-	v.stats.Unavailable.Add(1)
-	return Result{}, err
+	if errors.Is(err, ErrBreakerOpen) {
+		return Result{}, outBreakerFastFail, err
+	}
+	return Result{}, outUnavailable, err
 }
 
 // ValidateBatch answers a page worth of identifiers, producing exactly
@@ -369,20 +386,24 @@ func (v *Validator) degrade(id ids.PhotoID, err error) (Result, error) {
 // trip per identifier.
 func (v *Validator) ValidateBatch(batch []ids.PhotoID) ([]Result, error) {
 	results := make([]Result, len(batch))
+	start := v.st.begin()
+	tr := v.tracer.Start("validate_batch")
+	defer tr.End()
+	tr.Stage("scan")
 	var (
 		queryIDs []ids.PhotoID // unique must-query IDs, first-appearance order
 		occs     [][]int       // occurrence indices per unique ID
 		uniq     map[ids.PhotoID]int
 	)
 	for i, id := range batch {
-		v.stats.Total.Add(1)
+		v.st.total.Inc()
 		if v.cfg.UseFilter && !v.mightBeRevoked(id) {
-			v.stats.FilterMisses.Add(1)
+			v.st.done(outFilterMiss, start)
 			results[i] = Result{State: ledger.StateActive, Source: SourceFilter}
 			continue
 		}
 		if p := v.cache.get(id); p != nil {
-			v.stats.CacheHits.Add(1)
+			v.st.done(outCacheHit, start)
 			results[i] = Result{State: p.State, Source: SourceCache, Proof: p}
 			continue
 		}
@@ -397,24 +418,34 @@ func (v *Validator) ValidateBatch(batch []ids.PhotoID) ([]Result, error) {
 		queryIDs = append(queryIDs, id)
 		occs = append(occs, []int{i})
 	}
+	tr.Notef("n=%d uniq=%d", len(batch), len(queryIDs))
 	if len(queryIDs) == 0 {
 		return results, nil
 	}
+	tr.Stage("upstream")
 	proofs, errs := v.resolveBatch(queryIDs)
+	tr.Stage("finalize")
 	var firstErr error
 	for j, p := range proofs {
 		if err := errs[j]; err != nil {
 			if v.cfg.Degrade.Mode == DegradeFailOpenFresh {
 				if sp := v.cache.getStale(queryIDs[j]); sp != nil {
 					for _, i := range occs[j] {
-						v.stats.StaleServed.Add(1)
+						v.st.done(outStaleServed, start)
 						results[i] = Result{State: sp.State, Source: SourceStale, Proof: sp}
 					}
 					continue
 				}
 			}
+			// Same classification as degrade: an open breaker is a
+			// fast-fail, anything else is unavailable — per occurrence,
+			// so the partition stays exact.
+			o := outUnavailable
+			if errors.Is(err, ErrBreakerOpen) {
+				o = outBreakerFastFail
+			}
 			for range occs[j] {
-				v.stats.Unavailable.Add(1)
+				v.st.done(o, start)
 			}
 			if firstErr == nil {
 				firstErr = err
@@ -424,10 +455,10 @@ func (v *Validator) ValidateBatch(batch []ids.PhotoID) ([]Result, error) {
 		v.cache.put(queryIDs[j], p)
 		for k, i := range occs[j] {
 			if k == 0 || v.cfg.CacheCapacity <= 0 {
-				v.stats.LedgerQueries.Add(1)
+				v.st.done(outLedgerQuery, start)
 				results[i] = Result{State: p.State, Source: SourceLedger, Proof: p}
 			} else {
-				v.stats.CacheHits.Add(1)
+				v.st.done(outCacheHit, start)
 				results[i] = Result{State: p.State, Source: SourceCache, Proof: p}
 			}
 		}
@@ -448,14 +479,14 @@ func (v *Validator) resolveBatch(queryIDs []ids.PhotoID) (proofs []*ledger.Statu
 	errs = make([]error, len(queryIDs))
 	if v.batchQuery == nil {
 		// Per-ID fallback, still collapsed through singleflight. The
-		// caller owns the LedgerQueries accounting.
-		type outcome struct {
+		// caller owns the outcome accounting.
+		type qres struct {
 			p   *ledger.StatusProof
 			err error
 		}
-		outs := parallel.Map(queryIDs, func(_ int, id ids.PhotoID) outcome {
-			p, err := v.querySF(id, false)
-			return outcome{p: p, err: err}
+		outs := parallel.Map(queryIDs, func(_ int, id ids.PhotoID) qres {
+			p, err := v.querySF(id)
+			return qres{p: p, err: err}
 		})
 		for j, o := range outs {
 			proofs[j], errs[j] = o.p, o.err
@@ -498,14 +529,16 @@ func (v *Validator) resolveBatch(queryIDs []ids.PhotoID) (proofs []*ledger.Statu
 		}
 		br := v.breakerFor(ch.lid)
 		if br != nil && !br.allow(v.cfg.Clock()) {
-			v.stats.BreakerFastFails.Add(1)
+			// Classified per occurrence by the caller (outBreakerFastFail).
 			return fail(fmt.Errorf("proxy: ledger %d: %w", ch.lid, ErrBreakerOpen))
 		}
 		sub := make([]ids.PhotoID, len(ch.idxs))
 		for k, j := range ch.idxs {
 			sub[k] = queryIDs[j]
 		}
+		up := v.st.begin()
 		ps, err := v.batchQuery(ch.lid, sub)
+		v.st.observeUpstream(v.st.upstreamBatch, up)
 		if br != nil {
 			br.record(err == nil && len(ps) == len(sub), v.cfg.Clock())
 		}
@@ -531,13 +564,14 @@ func (v *Validator) resolveBatch(queryIDs []ids.PhotoID) (proofs []*ledger.Statu
 // single upstream request — both a load and a privacy measure (the
 // ledger sees one aggregate query, §4.2).
 func (v *Validator) queryOnce(id ids.PhotoID) (*ledger.StatusProof, error) {
-	return v.querySF(id, true)
+	return v.querySF(id)
 }
 
-// querySF is the singleflight core; count says whether a performed
-// upstream call bumps LedgerQueries (the batch path counts occurrences
-// itself).
-func (v *Validator) querySF(id ids.PhotoID, count bool) (*ledger.StatusProof, error) {
+// querySF is the singleflight core. It performs the upstream call but
+// counts nothing: outcome accounting happens at the occurrence level in
+// Validate/ValidateBatch, so singleflight waiters and leaders classify
+// identically and the conservation invariant holds.
+func (v *Validator) querySF(id ids.PhotoID) (*ledger.StatusProof, error) {
 	if v.query == nil {
 		return nil, ErrNoQuery
 	}
@@ -553,13 +587,11 @@ func (v *Validator) querySF(id ids.PhotoID, count bool) (*ledger.StatusProof, er
 	s.mu.Unlock()
 
 	if br := v.breakerFor(id.Ledger); br != nil && !br.allow(v.cfg.Clock()) {
-		v.stats.BreakerFastFails.Add(1)
 		fl.err = fmt.Errorf("proxy: ledger %d: %w", id.Ledger, ErrBreakerOpen)
 	} else {
-		if count {
-			v.stats.LedgerQueries.Add(1)
-		}
+		up := v.st.begin()
 		fl.proof, fl.err = v.query(id)
+		v.st.observeUpstream(v.st.upstreamQuery, up)
 		if br != nil {
 			br.record(fl.err == nil, v.cfg.Clock())
 		}
@@ -575,30 +607,6 @@ func (v *Validator) querySF(id ids.PhotoID, count bool) (*ledger.StatusProof, er
 // Invalidate drops a cached proof, forcing the next validation to
 // consult the ledger.
 func (v *Validator) Invalidate(id ids.PhotoID) { v.cache.invalidate(id) }
-
-// Stats returns a snapshot of the counters.
-func (v *Validator) Stats() StatsSnapshot {
-	return StatsSnapshot{
-		Total:            v.stats.Total.Load(),
-		FilterMisses:     v.stats.FilterMisses.Load(),
-		CacheHits:        v.stats.CacheHits.Load(),
-		LedgerQueries:    v.stats.LedgerQueries.Load(),
-		StaleServed:      v.stats.StaleServed.Load(),
-		Unavailable:      v.stats.Unavailable.Load(),
-		BreakerFastFails: v.stats.BreakerFastFails.Load(),
-	}
-}
-
-// ResetStats zeroes the counters between experiment phases.
-func (v *Validator) ResetStats() {
-	v.stats.Total.Store(0)
-	v.stats.FilterMisses.Store(0)
-	v.stats.CacheHits.Store(0)
-	v.stats.LedgerQueries.Store(0)
-	v.stats.StaleServed.Store(0)
-	v.stats.Unavailable.Store(0)
-	v.stats.BreakerFastFails.Store(0)
-}
 
 // LedgerError ties a filter-refresh failure to the ledger it came from.
 type LedgerError struct {

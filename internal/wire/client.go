@@ -18,6 +18,7 @@ import (
 	"irs/internal/bloom"
 	"irs/internal/ids"
 	"irs/internal/ledger"
+	"irs/internal/obs"
 	"irs/internal/tsa"
 )
 
@@ -37,6 +38,67 @@ type ClientOptions struct {
 	// connection pool across clients. Its own Timeout field is left
 	// alone; the Client applies its deadline per request via context.
 	HTTPClient *http.Client
+	// Obs, when non-nil, interns per-RPC latency histograms and
+	// result-class counters (irs_wire_client_*) in the given registry.
+	// nil disables client instrumentation at zero per-call cost.
+	Obs *obs.Registry
+}
+
+// clientRPCs is the fixed RPC name set; instruments are interned once
+// per client at construction, never per call.
+var clientRPCs = []string{
+	"claim", "op", "status", "status_batch", "seq",
+	"keys", "filter", "filter_delta", "admin_revoke",
+}
+
+// rpcInstruments is one RPC's pre-interned series.
+type rpcInstruments struct {
+	lat                     *obs.Histogram
+	ok, protocol, transport *obs.Counter
+}
+
+// clientObs maps RPC names to instruments; a nil *clientObs is the
+// disabled state.
+type clientObs struct {
+	rpcs map[string]*rpcInstruments
+}
+
+func newClientObs(reg *obs.Registry) *clientObs {
+	co := &clientObs{rpcs: make(map[string]*rpcInstruments, len(clientRPCs))}
+	for _, rpc := range clientRPCs {
+		l := obs.L("rpc", rpc)
+		co.rpcs[rpc] = &rpcInstruments{
+			lat:       reg.Histogram("irs_wire_client_seconds", nil, l),
+			ok:        reg.Counter("irs_wire_client_requests_total", l, obs.L("class", "ok")),
+			protocol:  reg.Counter("irs_wire_client_requests_total", l, obs.L("class", "protocol")),
+			transport: reg.Counter("irs_wire_client_requests_total", l, obs.L("class", "transport")),
+		}
+	}
+	return co
+}
+
+// observe records one finished RPC. Classes: "ok" for a successful
+// exchange, "transport" when the request or response failed to move
+// over the network, "protocol" for everything the server (or response
+// validation) rejected.
+func (co *clientObs) observe(rpc string, start time.Time, err error) {
+	if co == nil {
+		return
+	}
+	ri := co.rpcs[rpc]
+	if ri == nil {
+		return
+	}
+	ri.lat.Observe(time.Since(start).Seconds())
+	var te *TransportError
+	switch {
+	case err == nil:
+		ri.ok.Inc()
+	case errors.As(err, &te):
+		ri.transport.Inc()
+	default:
+		ri.protocol.Inc()
+	}
 }
 
 // TransportError marks a failure moving a request or response over the
@@ -77,6 +139,9 @@ type Client struct {
 	// ctx, when non-nil, is the base context every request derives from
 	// (WithContext); nil means context.Background().
 	ctx context.Context
+	// obs holds the pre-interned per-RPC instruments; nil when the
+	// client was built without ClientOptions.Obs.
+	obs *clientObs
 }
 
 // NewClient creates a client for the ledger at base (e.g.
@@ -96,7 +161,11 @@ func NewClientOpts(base string, adminToken string, opts ClientOptions) *Client {
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
-	return &Client{base: base, admin: adminToken, http: hc, timeout: timeout}
+	var co *clientObs
+	if opts.Obs != nil {
+		co = newClientObs(opts.Obs)
+	}
+	return &Client{base: base, admin: adminToken, http: hc, timeout: timeout, obs: co}
 }
 
 // Base returns the base URL the client targets.
@@ -131,7 +200,11 @@ func (c *Client) newRequest(method, path string, body io.Reader) (*http.Request,
 	return hr, cancel, nil
 }
 
-func (c *Client) postJSON(path string, req, resp any, headers map[string]string) error {
+func (c *Client) postJSON(rpc, path string, req, resp any, headers map[string]string) (err error) {
+	if c.obs != nil {
+		start := time.Now()
+		defer func() { c.obs.observe(rpc, start, err) }()
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("wire: encoding request: %w", err)
@@ -152,7 +225,11 @@ func (c *Client) postJSON(path string, req, resp any, headers map[string]string)
 	return decodeResponse(r, resp)
 }
 
-func (c *Client) getJSON(path string, resp any) error {
+func (c *Client) getJSON(rpc, path string, resp any) (err error) {
+	if c.obs != nil {
+		start := time.Now()
+		defer func() { c.obs.observe(rpc, start, err) }()
+	}
 	hr, cancel, err := c.newRequest(http.MethodGet, path, nil)
 	if err != nil {
 		return err
@@ -168,7 +245,7 @@ func (c *Client) getJSON(path string, resp any) error {
 // Claim registers a photo and returns the receipt.
 func (c *Client) Claim(req *ClaimRequest) (ledger.Receipt, error) {
 	var resp ClaimResponse
-	if err := c.postJSON("/v1/claim", req, &resp, nil); err != nil {
+	if err := c.postJSON("claim", "/v1/claim", req, &resp, nil); err != nil {
 		return ledger.Receipt{}, err
 	}
 	id, err := ids.Parse(resp.ID)
@@ -184,13 +261,13 @@ func (c *Client) Claim(req *ClaimRequest) (ledger.Receipt, error) {
 
 // Apply submits a signed revoke/unrevoke.
 func (c *Client) Apply(id ids.PhotoID, op ledger.Op, seq uint64, sig []byte) error {
-	return c.postJSON("/v1/op", &OpRequest{ID: id.String(), Op: int(op), Seq: seq, Sig: sig}, nil, nil)
+	return c.postJSON("op", "/v1/op", &OpRequest{ID: id.String(), Op: int(op), Seq: seq, Sig: sig}, nil, nil)
 }
 
 // Status validates a claim, returning the parsed signed proof.
 func (c *Client) Status(id ids.PhotoID) (*ledger.StatusProof, error) {
 	var resp StatusResponse
-	if err := c.getJSON("/v1/status?id="+url.QueryEscape(id.String()), &resp); err != nil {
+	if err := c.getJSON("status", "/v1/status?id="+url.QueryEscape(id.String()), &resp); err != nil {
 		return nil, err
 	}
 	return ledger.UnmarshalProof(resp.Proof)
@@ -212,7 +289,7 @@ func (c *Client) StatusBatch(batch []ids.PhotoID) ([]*ledger.StatusProof, error)
 		req.IDs[i] = id.String()
 	}
 	var resp StatusBatchResponse
-	if err := c.postJSON("/v1/status/batch", req, &resp, nil); err != nil {
+	if err := c.postJSON("status_batch", "/v1/status/batch", req, &resp, nil); err != nil {
 		return nil, err
 	}
 	if len(resp.Proofs) != len(batch) {
@@ -235,7 +312,7 @@ func (c *Client) StatusBatch(batch []ids.PhotoID) ([]*ledger.StatusProof, error)
 // Seq fetches the current operation sequence for owner-side signing.
 func (c *Client) Seq(id ids.PhotoID) (uint64, error) {
 	var resp SeqQueryResponse
-	if err := c.getJSON("/v1/seq?id="+url.QueryEscape(id.String()), &resp); err != nil {
+	if err := c.getJSON("seq", "/v1/seq?id="+url.QueryEscape(id.String()), &resp); err != nil {
 		return 0, err
 	}
 	return resp.Seq, nil
@@ -244,7 +321,7 @@ func (c *Client) Seq(id ids.PhotoID) (uint64, error) {
 // Keys fetches the ledger's verification keys.
 func (c *Client) Keys() (*KeysResponse, error) {
 	var resp KeysResponse
-	if err := c.getJSON("/v1/keys", &resp); err != nil {
+	if err := c.getJSON("keys", "/v1/keys", &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.SigningKey) != ed25519.PublicKeySize || len(resp.TimestampKey) != ed25519.PublicKeySize {
@@ -260,7 +337,11 @@ const maxFilterBytes = 1 << 30
 
 // getRaw issues a GET whose successful body is binary (filters); error
 // bodies are still the JSON protocol error.
-func (c *Client) getRaw(path string) (raw []byte, epoch uint64, err error) {
+func (c *Client) getRaw(rpc, path string) (raw []byte, epoch uint64, err error) {
+	if c.obs != nil {
+		start := time.Now()
+		defer func() { c.obs.observe(rpc, start, err) }()
+	}
 	hr, cancel, err := c.newRequest(http.MethodGet, path, nil)
 	if err != nil {
 		return nil, 0, err
@@ -292,7 +373,7 @@ func (c *Client) getRaw(path string) (raw []byte, epoch uint64, err error) {
 
 // Filter downloads the latest revocation filter snapshot.
 func (c *Client) Filter() (epoch uint64, f *bloom.Filter, err error) {
-	raw, epoch, err := c.getRaw("/v1/filter")
+	raw, epoch, err := c.getRaw("filter", "/v1/filter")
 	if err != nil {
 		return 0, nil, err
 	}
@@ -302,13 +383,13 @@ func (c *Client) Filter() (epoch uint64, f *bloom.Filter, err error) {
 
 // FilterDelta downloads the delta from a held epoch to the latest.
 func (c *Client) FilterDelta(from uint64) (delta []byte, latest uint64, err error) {
-	return c.getRaw("/v1/filter/delta?from=" + strconv.FormatUint(from, 10))
+	return c.getRaw("filter_delta", "/v1/filter/delta?from="+strconv.FormatUint(from, 10))
 }
 
 // PermanentRevoke invokes the admin endpoint; the client must have been
 // constructed with the ledger's admin token.
 func (c *Client) PermanentRevoke(id ids.PhotoID) error {
-	return c.postJSON("/v1/admin/permanent-revoke",
+	return c.postJSON("admin_revoke", "/v1/admin/permanent-revoke",
 		&AdminRevokeRequest{ID: id.String()}, nil,
 		map[string]string{"Authorization": "Bearer " + c.admin})
 }

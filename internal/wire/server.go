@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"irs/internal/ids"
 	"irs/internal/ledger"
+	"irs/internal/obs"
 )
 
 // Server adapts a ledger.Ledger to the HTTP protocol. Construct with
@@ -19,22 +21,93 @@ type Server struct {
 	// the endpoint entirely.
 	adminToken string
 	mux        *http.ServeMux
+	obsReg     *obs.Registry
+}
+
+// ServerOptions tunes the optional server surfaces.
+type ServerOptions struct {
+	// Obs is the registry the per-route instruments are interned in;
+	// nil means the ledger's own registry, so the RPC series land next
+	// to the irs_ledger_* counters.
+	Obs *obs.Registry
+	// Debug mounts GET /debug/metrics (Prometheus text) and the
+	// net/http/pprof endpoints. Off by default: these expose
+	// operational detail and on-demand profiling, so binaries gate
+	// them behind an explicit flag.
+	Debug bool
+	// Tracer, with Debug, also mounts GET /debug/traces.
+	Tracer *obs.Tracer
 }
 
 // NewServer wraps l. adminToken authorizes the appeals process's
 // permanent revocations; pass "" to disable the admin surface.
 func NewServer(l *ledger.Ledger, adminToken string) *Server {
-	s := &Server{ledger: l, adminToken: adminToken, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/claim", s.handleClaim)
-	s.mux.HandleFunc("POST /v1/op", s.handleOp)
-	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
-	s.mux.HandleFunc("POST /v1/status/batch", s.handleStatusBatch)
-	s.mux.HandleFunc("GET /v1/seq", s.handleSeq)
-	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
-	s.mux.HandleFunc("GET /v1/filter", s.handleFilter)
-	s.mux.HandleFunc("GET /v1/filter/delta", s.handleFilterDelta)
-	s.mux.HandleFunc("POST /v1/admin/permanent-revoke", s.handleAdminRevoke)
+	return NewServerOpts(l, adminToken, ServerOptions{})
+}
+
+// NewServerOpts is NewServer with explicit observability options.
+func NewServerOpts(l *ledger.Ledger, adminToken string, opts ServerOptions) *Server {
+	reg := opts.Obs
+	if reg == nil {
+		reg = l.Registry()
+	}
+	s := &Server{ledger: l, adminToken: adminToken, mux: http.NewServeMux(), obsReg: reg}
+	route := func(pattern, name string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(name, h))
+	}
+	route("POST /v1/claim", "claim", s.handleClaim)
+	route("POST /v1/op", "op", s.handleOp)
+	route("GET /v1/status", "status", s.handleStatus)
+	route("POST /v1/status/batch", "status_batch", s.handleStatusBatch)
+	route("GET /v1/seq", "seq", s.handleSeq)
+	route("GET /v1/keys", "keys", s.handleKeys)
+	route("GET /v1/filter", "filter", s.handleFilter)
+	route("GET /v1/filter/delta", "filter_delta", s.handleFilterDelta)
+	route("POST /v1/admin/permanent-revoke", "admin_revoke", s.handleAdminRevoke)
+	if opts.Debug {
+		obs.RegisterDebug(s.mux, reg, opts.Tracer)
+	}
 	return s
+}
+
+// Registry returns the registry the server's route series live in.
+func (s *Server) Registry() *obs.Registry { return s.obsReg }
+
+// statusWriter captures the response status for the route counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route handler with a latency histogram and a
+// status-class counter. Instruments are interned per route at mount
+// time; per request the cost is two clock reads and the atomics.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.obsReg.Histogram("irs_wire_server_seconds", nil, obs.L("route", name))
+	classes := [3]*obs.Counter{
+		s.obsReg.Counter("irs_wire_server_requests_total", obs.L("route", name), obs.L("class", "2xx")),
+		s.obsReg.Counter("irs_wire_server_requests_total", obs.L("route", name), obs.L("class", "4xx")),
+		s.obsReg.Counter("irs_wire_server_requests_total", obs.L("route", name), obs.L("class", "5xx")),
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		lat.Observe(time.Since(start).Seconds())
+		switch {
+		case sw.status < 400:
+			classes[0].Inc()
+		case sw.status < 500:
+			classes[1].Inc()
+		default:
+			classes[2].Inc()
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.

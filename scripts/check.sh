@@ -27,6 +27,18 @@ go test -race -run 'Faulty|Retry|Breaker|Degrade|FailOpen|FailClosed|WAL|Directo
 go test -race -run 'IndexConcurrentUploadLookupTakeDown|IndexedLinearDifferential|LookupHashFirstMatch|ClearsHashDB' \
     ./internal/aggregator
 
+# Observability layer: the metrics-conservation invariant end to end,
+# the chaos obs determinism replay, and the obs package's own suite,
+# all under the race detector.
+go test -race -run 'MetricsConservation' ./internal/integration
+go test -race -run 'ChaosObsDeterminism' ./cmd/irs-bench
+go test -race ./internal/obs
+
+# Fuzz the Prometheus exposition writer and the histogram: ten seconds
+# each over the seeded corpus plus fresh mutations.
+go test -run='^$' -fuzz=FuzzPrometheusText -fuzztime=10s ./internal/obs
+go test -run='^$' -fuzz=FuzzHistogramObserve -fuzztime=10s ./internal/obs
+
 # Serving-path benchmarks compile and run once each (not timed here —
 # BENCH_serving.json is the committed artifact); then a tiny closed-loop
 # smoke of the load harness itself, kept out of the repo.
@@ -45,5 +57,34 @@ go run ./cmd/irs-bench -chaos -chaos-out /tmp/irs_chaos_smoke.json \
 go test -run='^$' -bench=BenchmarkLookup -benchtime=1x .
 go run ./cmd/irs-bench -lookup -lookup-out /tmp/irs_lookup_smoke.json \
     -lookup-sizes 4000,20000 -lookup-workers 1,4 -lookup-probes 300
+
+# Observability overhead gate: the harness itself fails when the
+# instrumented arm's min-of-reps p99 lands more than 5% above the bare
+# one; the committed artifact is BENCH_obs.json.
+go test -run='^$' -bench=BenchmarkValidateObs -benchtime=1x .
+go run ./cmd/irs-bench -obs-compare -obs-out /tmp/irs_obs_smoke.json \
+    -serve-workers 2 -serve-ids 256 -serve-batch 16 -serve-pages 600
+
+# /debug/metrics endpoint smoke: boot an irs-ledger with -debug, wait
+# for it to listen, and check the exposition includes a known family.
+go build -o /tmp/irs_ledger_check ./cmd/irs-ledger
+/tmp/irs_ledger_check -id 1 -addr 127.0.0.1:18339 -appeals=false -debug \
+    >/tmp/irs_ledger_check.log 2>&1 &
+LEDGER_PID=$!
+trap 'kill $LEDGER_PID 2>/dev/null || true' EXIT
+ok=0
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    if curl -fsS http://127.0.0.1:18339/debug/metrics 2>/dev/null \
+        | grep -q '^irs_ledger_queries_total'; then
+        ok=1
+        break
+    fi
+    sleep 0.5
+done
+kill $LEDGER_PID 2>/dev/null || true
+if [ "$ok" != 1 ]; then
+    echo "check.sh: /debug/metrics smoke failed (see /tmp/irs_ledger_check.log)" >&2
+    exit 1
+fi
 
 echo "check.sh: all green"
