@@ -68,6 +68,13 @@ func main() {
 		obsReps      = flag.Int("obs-reps", 3, "interleaved reps per arm (min-of-N p99)")
 		obsTolerance = flag.Float64("obs-tolerance", 0.05, "allowed fractional p99 overhead of the instrumented arm")
 
+		upload         = flag.Bool("upload", false, "run the upload-ingest (pipeline vs serial) harness")
+		uploadOut      = flag.String("upload-out", "BENCH_upload.json", "upload report path")
+		uploadBatches  = flag.String("upload-batches", "64,192", "comma-separated batch sizes")
+		uploadWorkers  = flag.String("upload-workers", "1,2,4,8", "comma-separated pipeline worker counts")
+		uploadDims     = flag.String("upload-dims", "192x128", "upload image dimensions WxH")
+		uploadBaseline = flag.Float64("upload-baseline", 0, "externally measured serial images/sec for speedup_vs_baseline")
+
 		lookup        = flag.Bool("lookup", false, "run the derivative-lookup (hash DB) harness")
 		lookupOut     = flag.String("lookup-out", "BENCH_lookup.json", "lookup report path")
 		lookupSizes   = flag.String("lookup-sizes", "10000,100000,250000", "comma-separated hash-DB sizes")
@@ -85,6 +92,34 @@ func main() {
 	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+	if *upload {
+		batches, err := parseIntList("-upload-batches", *uploadBatches)
+		if err == nil {
+			var uw []int
+			uw, err = parseIntList("-upload-workers", *uploadWorkers)
+			if err == nil {
+				var w, h int
+				if _, serr := fmt.Sscanf(*uploadDims, "%dx%d", &w, &h); serr != nil || w < 32 || h < 32 {
+					err = fmt.Errorf("bad -upload-dims %q", *uploadDims)
+				} else {
+					err = runUpload(uploadConfig{
+						Out:      *uploadOut,
+						Batches:  batches,
+						Workers:  uw,
+						Seed:     *seed,
+						W:        w,
+						H:        h,
+						Baseline: *uploadBaseline,
+					})
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irs-bench: upload: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *lookup {
 		sizes, err := parseIntList("-lookup-sizes", *lookupSizes)

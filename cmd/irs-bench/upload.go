@@ -1,0 +1,374 @@
+package main
+
+// The -upload arm measures the §3.2 upload ingest end to end: IRSP
+// decode, label extraction (aligned watermark read), the three-hash
+// perceptual signature, ledger status, derivative check, and hosting.
+// It sweeps batch size × worker count over two arms:
+//
+//	serial    photo.DecodeIRSP + Aggregator.Upload in a loop — the
+//	          pre-pipeline reference path
+//	pipeline  Aggregator.UploadAll (the bounded-channel backpressured
+//	          stage graph) at each worker count
+//
+// Before any timing is trusted, the harness replays the batch through
+// both arms against fresh aggregators and asserts the full decision
+// sequence — accept/deny reason, hosted identifier, per-item decode
+// error — is identical. The corpus is decision-diverse on purpose:
+// labeled-active uploads dominate, with revoked, mismatched, partially
+// labeled, unlabeled, relabeled-derivative, and malformed items mixed
+// in at fixed ratios, so the gate exercises every branch the pipeline
+// reorders around.
+//
+// -upload-baseline optionally records an externally measured serial
+// throughput (images/sec) — e.g. the same corpus pushed through the
+// pre-vectorization tree — and reports speedup_vs_baseline against it.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"irs/internal/aggregator"
+	"irs/internal/camera"
+	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/obs"
+	"irs/internal/photo"
+	"irs/internal/watermark"
+	"irs/internal/wire"
+)
+
+type uploadConfig struct {
+	Out      string
+	Batches  []int
+	Workers  []int
+	Seed     int64
+	W, H     int
+	Baseline float64 // externally measured serial images/sec, 0 = none
+}
+
+type uploadRow struct {
+	Batch              int          `json:"batch"`
+	Arm                string       `json:"arm"`
+	Workers            int          `json:"workers,omitempty"`
+	TotalMs            float64      `json:"total_ms"`
+	ImagesPerSec       float64      `json:"images_per_sec"`
+	SpeedupVsSerial    float64      `json:"speedup_vs_serial,omitempty"`
+	SpeedupVsBaseline  float64      `json:"speedup_vs_baseline,omitempty"`
+	Accepted           int          `json:"accepted"`
+	Denied             int          `json:"denied"`
+	ItemErrors         int          `json:"item_errors"`
+	DecisionsIdentical bool         `json:"decisions_identical"`
+	Stages             []uploadStat `json:"stages,omitempty"`
+}
+
+// uploadStat is one stage's latency profile from the pipeline's obs
+// histograms (milliseconds).
+type uploadStat struct {
+	Stage string  `json:"stage"`
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+type uploadReport struct {
+	Seed               int64       `json:"seed"`
+	Width              int         `json:"width"`
+	Height             int         `json:"height"`
+	BaselineImagesSec  float64     `json:"baseline_images_per_sec,omitempty"`
+	DecisionsIdentical bool        `json:"decisions_identical"`
+	Rows               []uploadRow `json:"rows"`
+}
+
+// uploadRig is the in-process ledger + camera fixture the corpus is
+// claimed against; every timing run gets a fresh aggregator over the
+// same directory so ledger state is shared and local state is not.
+type uploadRig struct {
+	owner *ledger.Ledger
+	cust  *ledger.Ledger
+	dir   *wire.Directory
+	cam   *camera.Camera
+}
+
+func newUploadRig(seed int64) (*uploadRig, error) {
+	ol, err := ledger.New(ledger.Config{ID: 1, Rand: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := ledger.New(ledger.Config{ID: 2, Rand: rand.New(rand.NewSource(seed + 1))})
+	if err != nil {
+		return nil, err
+	}
+	dir := wire.NewDirectory()
+	dir.Register(1, &wire.Loopback{L: ol})
+	dir.Register(2, &wire.Loopback{L: cl})
+	return &uploadRig{
+		owner: ol,
+		cust:  cl,
+		dir:   dir,
+		cam:   camera.New(&wire.Loopback{L: ol}, "local://1", nil),
+	}, nil
+}
+
+func (r *uploadRig) close() { r.owner.Close(); r.cust.Close() }
+
+func (r *uploadRig) newAggregator() (*aggregator.Aggregator, error) {
+	return aggregator.New(aggregator.Config{
+		Name:               "bench",
+		Unlabeled:          aggregator.RejectUnlabeled,
+		CustodialLedger:    &wire.Loopback{L: r.cust},
+		CustodialLedgerURL: "local://2",
+		RecheckInterval:    time.Hour,
+	}, r.dir)
+}
+
+// uploadCorpus builds n raw IRSP items: ~76% labeled active, 6%
+// revoked, 6% unlabeled, 4% label-mismatched, 4% relabeled derivatives
+// of earlier accepts, 2% metadata-stripped, 2% malformed bytes.
+func uploadCorpus(r *uploadRig, n, w, h int, seed int64) ([]aggregator.UploadItem, error) {
+	encode := func(im *photo.Image) (aggregator.UploadItem, error) {
+		var buf bytes.Buffer
+		if err := photo.EncodeIRSP(&buf, im); err != nil {
+			return aggregator.UploadItem{}, err
+		}
+		return aggregator.UploadItem{Raw: buf.Bytes()}, nil
+	}
+	items := make([]aggregator.UploadItem, 0, n)
+	var lastAccept *photo.Image
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		var im *photo.Image
+		switch {
+		case i%50 == 49: // malformed container
+			items = append(items, aggregator.UploadItem{Raw: []byte("corrupt frame")})
+			continue
+		case i%50 == 24: // metadata stripped → partial label
+			labeled, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(s, w, h))
+			if err != nil {
+				return nil, err
+			}
+			if im, err = photo.StripViaPNM(labeled); err != nil {
+				return nil, err
+			}
+		case i%25 == 11: // revoked at birth
+			labeled, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(s, w, h))
+			if err != nil {
+				return nil, err
+			}
+			if err := r.cam.Revoke(owned.ID); err != nil {
+				return nil, err
+			}
+			im = labeled
+		case i%25 == 17: // unlabeled
+			im = photo.Synth(s, w, h)
+		case i%25 == 5: // metadata swapped → label mismatch
+			labeled, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(s, w, h))
+			if err != nil {
+				return nil, err
+			}
+			other, err := ids.New(1)
+			if err != nil {
+				return nil, err
+			}
+			im = labeled.Clone()
+			im.Meta.Set(photo.KeyIRSID, other.String())
+		case i%25 == 20 && lastAccept != nil: // relabeled derivative
+			erased, err := watermark.Erase(lastAccept, watermark.DefaultConfig(), 1)
+			if err != nil {
+				return nil, err
+			}
+			relabeled, _, err := r.cam.ClaimAndLabel(erased)
+			if err != nil {
+				return nil, err
+			}
+			im = relabeled
+		default:
+			labeled, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(s, w, h))
+			if err != nil {
+				return nil, err
+			}
+			im = labeled
+			lastAccept = labeled
+		}
+		item, err := encode(im)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+	return items, nil
+}
+
+// uploadDecision is the comparable outcome of one item.
+type uploadDecision struct {
+	accepted bool
+	reason   aggregator.DenyReason
+	id       ids.PhotoID
+	failed   bool
+}
+
+func runSerial(agg *aggregator.Aggregator, items []aggregator.UploadItem) ([]uploadDecision, time.Duration) {
+	decisions := make([]uploadDecision, len(items))
+	start := time.Now()
+	for i, it := range items {
+		im, err := photo.DecodeIRSP(bytes.NewReader(it.Raw))
+		if err != nil {
+			decisions[i] = uploadDecision{failed: true}
+			continue
+		}
+		res, err := agg.Upload(im)
+		decisions[i] = uploadDecision{
+			accepted: res.Accepted, reason: res.Reason, id: res.ID, failed: err != nil,
+		}
+	}
+	return decisions, time.Since(start)
+}
+
+func runPipelined(agg *aggregator.Aggregator, items []aggregator.UploadItem, workers int, reg *obs.Registry) ([]uploadDecision, time.Duration) {
+	decisions := make([]uploadDecision, len(items))
+	start := time.Now()
+	results := agg.UploadAll(context.Background(), items, aggregator.PipelineConfig{Workers: workers, Obs: reg})
+	elapsed := time.Since(start)
+	for i, res := range results {
+		decisions[i] = uploadDecision{
+			accepted: res.Result.Accepted, reason: res.Result.Reason,
+			id: res.Result.ID, failed: res.Err != nil,
+		}
+	}
+	return decisions, elapsed
+}
+
+func tallyDecisions(ds []uploadDecision) (accepted, denied, errs int) {
+	for _, d := range ds {
+		switch {
+		case d.failed:
+			errs++
+		case d.accepted:
+			accepted++
+		default:
+			denied++
+		}
+	}
+	return
+}
+
+func runUpload(cfg uploadConfig) error {
+	report := uploadReport{
+		Seed: cfg.Seed, Width: cfg.W, Height: cfg.H,
+		BaselineImagesSec: cfg.Baseline, DecisionsIdentical: true,
+	}
+	rig, err := newUploadRig(cfg.Seed)
+	if err != nil {
+		return err
+	}
+	defer rig.close()
+
+	for _, batch := range cfg.Batches {
+		items, err := uploadCorpus(rig, batch, cfg.W, cfg.H, cfg.Seed+int64(batch)*1000)
+		if err != nil {
+			return fmt.Errorf("batch %d corpus: %w", batch, err)
+		}
+
+		// Correctness gate first: the pipeline must reproduce the serial
+		// decision sequence at every worker count before timings count.
+		gateAgg, err := rig.newAggregator()
+		if err != nil {
+			return err
+		}
+		ref, _ := runSerial(gateAgg, items)
+		for _, workers := range cfg.Workers {
+			agg, err := rig.newAggregator()
+			if err != nil {
+				return err
+			}
+			got, _ := runPipelined(agg, items, workers, nil)
+			for i := range ref {
+				if got[i] != ref[i] {
+					report.DecisionsIdentical = false
+					return fmt.Errorf("batch %d workers %d: decision %d diverged: pipeline %+v, serial %+v",
+						batch, workers, i, got[i], ref[i])
+				}
+			}
+		}
+
+		// Timed serial arm.
+		agg, err := rig.newAggregator()
+		if err != nil {
+			return err
+		}
+		ds, elapsed := runSerial(agg, items)
+		acc, den, errs := tallyDecisions(ds)
+		serialRate := float64(batch) / elapsed.Seconds()
+		row := uploadRow{
+			Batch: batch, Arm: "serial", TotalMs: float64(elapsed.Microseconds()) / 1000,
+			ImagesPerSec: serialRate, Accepted: acc, Denied: den, ItemErrors: errs,
+			DecisionsIdentical: true,
+		}
+		if cfg.Baseline > 0 {
+			row.SpeedupVsBaseline = serialRate / cfg.Baseline
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("upload batch=%d serial: %.1f images/sec\n", batch, serialRate)
+
+		// Timed pipeline arm per worker count.
+		for _, workers := range cfg.Workers {
+			agg, err := rig.newAggregator()
+			if err != nil {
+				return err
+			}
+			reg := obs.NewRegistry()
+			ds, elapsed := runPipelined(agg, items, workers, reg)
+			acc, den, errs := tallyDecisions(ds)
+			rate := float64(batch) / elapsed.Seconds()
+			row := uploadRow{
+				Batch: batch, Arm: "pipeline", Workers: workers,
+				TotalMs: float64(elapsed.Microseconds()) / 1000, ImagesPerSec: rate,
+				SpeedupVsSerial: rate / serialRate,
+				Accepted:        acc, Denied: den, ItemErrors: errs,
+				DecisionsIdentical: true,
+			}
+			if cfg.Baseline > 0 {
+				row.SpeedupVsBaseline = rate / cfg.Baseline
+			}
+			row.Stages = stageStats(reg)
+			report.Rows = append(report.Rows, row)
+			fmt.Printf("upload batch=%d pipeline workers=%d: %.1f images/sec (%.2fx serial)\n",
+				batch, workers, rate, rate/serialRate)
+		}
+	}
+
+	f, err := os.Create(cfg.Out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&report)
+}
+
+// stageStats reads back the pipeline's per-stage latency histograms.
+// Interning the same series returns the instruments the run populated.
+func stageStats(reg *obs.Registry) []uploadStat {
+	var stats []uploadStat
+	for _, name := range []string{"decode", "label", "hash", "status", "commit"} {
+		h := reg.Histogram("irs_upload_stage_seconds", nil, obs.L("stage", name))
+		snap := h.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		stats = append(stats, uploadStat{
+			Stage: name,
+			Count: snap.Count,
+			P50Ms: snap.Quantile(0.50) * 1000,
+			P95Ms: snap.Quantile(0.95) * 1000,
+			P99Ms: snap.Quantile(0.99) * 1000,
+		})
+	}
+	return stats
+}

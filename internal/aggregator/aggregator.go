@@ -37,7 +37,6 @@ import (
 	"irs/internal/parallel"
 	"irs/internal/phash"
 	"irs/internal/photo"
-	"irs/internal/provenance"
 	"irs/internal/watermark"
 	"irs/internal/wire"
 )
@@ -253,82 +252,23 @@ func (a *Aggregator) deny(reason DenyReason) UploadResult {
 	return UploadResult{Accepted: false, Reason: reason}
 }
 
-// Upload runs the §3.2 pipeline on an uploaded image.
+// Upload runs the §3.2 pipeline on an uploaded image: the stateless
+// prepare half (label extraction, provenance check — see the paper
+// note below — signature, status read) followed by the stateful commit
+// half. UploadStream runs the same two halves with prepare fanned out
+// across workers, so serial and streamed uploads share one decision
+// path.
+//
+// A provenance manifest, when present, must verify and must agree with
+// the label (§2: IRS "can benefit from the adoption of the C2PA
+// metadata standard" — and a forged manifest is disqualifying).
 func (a *Aggregator) Upload(im *photo.Image) (UploadResult, error) {
 	a.mu.Lock()
 	a.metrics.Uploads++
 	a.mu.Unlock()
-
-	metaID, wmID, metaOK, wmOK := a.extractLabel(im)
-	switch {
-	case metaOK && wmOK && metaID != wmID:
-		return a.deny(DenyLabelMismatch), nil
-	case metaOK != wmOK:
-		return a.deny(DenyPartialLabel), nil
-	case !metaOK && !wmOK:
-		return a.handleUnlabeled(im)
-	}
-
-	// A provenance manifest, when present, must verify and must agree
-	// with the label (§2: IRS "can benefit from the adoption of the
-	// C2PA metadata standard" — and a forged manifest is disqualifying).
-	if chain, present, perr := provenance.Extract(im); present {
-		if perr != nil || chain.Verify(im) != nil {
-			return a.deny(DenyBadProvenance), nil
-		}
-		if chainID, ok := chain.ClaimID(); ok && chainID != metaID {
-			return a.deny(DenyBadProvenance), nil
-		}
-	}
-
-	id := metaID
-	// Derivative check against the robust-hash database.
-	sig := phash.NewSignature(im)
-	if prior, found := a.lookupHash(sig); found && prior != id {
-		return a.deny(DenyDerivativeRelabeled), nil
-	}
-
-	svc, err := a.dir.For(id)
-	if err != nil {
-		return a.deny(DenyLedgerUnreachable), nil
-	}
-	proof, err := svc.Status(id)
-	if err != nil {
-		return a.deny(DenyLedgerUnreachable), nil
-	}
-	switch proof.State {
-	case ledger.StateActive:
-	case ledger.StateUnknown:
-		return a.deny(DenyUnknownClaim), nil
-	default:
-		return a.deny(DenyRevoked), nil
-	}
-	a.host(id, im, proof, false, sig)
-	return UploadResult{Accepted: true, ID: id}, nil
-}
-
-func (a *Aggregator) handleUnlabeled(im *photo.Image) (UploadResult, error) {
-	if a.cfg.Unlabeled == RejectUnlabeled {
-		return a.deny(DenyUnlabeled), nil
-	}
-	// Custodial role: the aggregator becomes the claim's key holder.
-	sig := phash.NewSignature(im)
-	if prior, found := a.lookupHash(sig); found {
-		// A derivative of hosted content arriving label-free: require
-		// the original metadata instead of custodially double-claiming.
-		_ = prior
-		return a.deny(DenyDerivativeRelabeled), nil
-	}
-	owned, labeled, err := a.custodialClaim(im)
-	if err != nil {
-		return a.deny(DenyLedgerUnreachable), nil
-	}
-	proof, err := a.cfg.CustodialLedger.Status(owned.ID)
-	if err != nil {
-		return a.deny(DenyLedgerUnreachable), nil
-	}
-	a.host(owned.ID, labeled, proof, true, phash.NewSignature(labeled))
-	return UploadResult{Accepted: true, ID: owned.ID, Custodial: true}, nil
+	p := prep{im: im}
+	a.prepare(&p, nil)
+	return a.commit(&p)
 }
 
 func (a *Aggregator) custodialClaim(im *photo.Image) (*camera.Owned, *photo.Image, error) {
@@ -434,8 +374,15 @@ func (a *Aggregator) UploadVideo(v *photo.Video) (UploadResult, error) {
 		return a.deny(DenyRevoked), nil
 	}
 	// Host the video's poster frame record for revalidation tracking;
-	// the full clip is stored alongside.
-	sig := phash.NewSignature(v.Frames[0])
+	// the full clip is stored alongside. Every frame's perceptual
+	// signature enters the hash index (batch-hashed across the worker
+	// pool), so a still lifted from any frame — not just the poster —
+	// resolves to this claim in the derivative check.
+	sigs := phash.SignatureAll(v.Frames)
+	pids := make([]ids.PhotoID, len(sigs))
+	for i := range pids {
+		pids[i] = id
+	}
 	a.mu.Lock()
 	a.metrics.Accepted++
 	a.photos[id] = &hosted{
@@ -444,9 +391,9 @@ func (a *Aggregator) UploadVideo(v *photo.Video) (UploadResult, error) {
 		video:     v.Clone(),
 		proof:     proof,
 		checkedAt: a.clock(),
-		sig:       sig,
+		sig:       sigs[0],
 	}
-	a.hashIdx.Add(sig, id)
+	a.hashIdx.AddAll(sigs, pids)
 	a.mu.Unlock()
 	return UploadResult{Accepted: true, ID: id}, nil
 }

@@ -1,0 +1,451 @@
+// Streaming upload pipeline.
+//
+// Upload processing has two very different halves. The expensive half —
+// IRSP decode, watermark extraction, the three-hash perceptual
+// signature, the read-only ledger status fetch — is a pure function of
+// the uploaded bytes and can run for many uploads concurrently. The
+// stateful half — the robust-hash derivative check, custodial claiming,
+// and hosting — must observe uploads one at a time in arrival order, or
+// decisions would depend on scheduling (which of two derivatives gets
+// hosted and which gets denied is decided by who commits first).
+//
+// UploadStream therefore runs a bounded stage graph:
+//
+//	feeder → [W compute workers] → single ordered committer → results
+//
+// Every channel is bounded, so a slow committer backpressures the
+// workers and a slow consumer backpressures the feeder; memory in
+// flight is O(workers + depth) regardless of stream length. The
+// committer reorders by input index before touching shared state, so
+// accept/deny decisions, first-match derivative ties, and metrics are
+// byte-identical to calling Upload serially on the same sequence — at
+// any worker count. (The one observable difference: ledger status reads
+// are prefetched concurrently, so against a ledger that is mutating or
+// fault-injecting mid-stream, an item may see a different status-read
+// interleaving than the strict serial order would have produced.)
+package aggregator
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/obs"
+	"irs/internal/phash"
+	"irs/internal/photo"
+	"irs/internal/provenance"
+)
+
+// UploadItem is one unit of streaming upload work: either an already
+// decoded image, or a raw IRSP container to decode inside the pipeline
+// (Raw is used only when Image is nil).
+type UploadItem struct {
+	Image *photo.Image
+	Raw   []byte
+}
+
+// StreamResult pairs an upload outcome with the item's input index.
+// Err is per-item (a malformed Raw container, or cancellation before
+// the item was processed); it never aborts the stream.
+type StreamResult struct {
+	Index  int
+	Result UploadResult
+	Err    error
+}
+
+// PipelineConfig parameterizes UploadStream.
+type PipelineConfig struct {
+	// Workers is the number of concurrent compute workers; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Depth is the per-stage channel capacity; <= 0 means 2×Workers.
+	Depth int
+	// Obs, when non-nil, interns the irs_upload_* pipeline series
+	// (per-stage latency histograms and queue-depth gauges) there.
+	Obs *obs.Registry
+}
+
+// ErrSkipped marks items the stream never processed (cancelled before
+// they entered the pipeline).
+var ErrSkipped = errors.New("aggregator: upload skipped")
+
+// prep carries one upload through the pipeline stages.
+type prep struct {
+	idx int
+	raw []byte
+	im  *photo.Image
+	err error // decode failure; terminal
+
+	metaID, wmID ids.PhotoID
+	metaOK, wmOK bool
+	provBad      bool
+	sigDone      bool
+	sig          phash.Signature
+
+	// Prefetched read-only ledger status (labeled uploads only).
+	statusDone bool
+	proof      *ledger.StatusProof
+	statusErr  error
+}
+
+// pipeline stage identifiers, indexing pipeObs.stages.
+type pipeStage int
+
+const (
+	stageDecode pipeStage = iota
+	stageLabel
+	stageHash
+	stageStatus
+	stageCommit
+	numStages
+)
+
+// pipeQueue identifiers, indexing pipeObs.depths.
+type pipeQueue int
+
+const (
+	queueWork pipeQueue = iota
+	queueDone
+	numQueues
+)
+
+// pipeObs holds the pre-interned pipeline instruments; every method is
+// a no-op on the nil receiver, so instrumentation costs nothing when
+// unset.
+type pipeObs struct {
+	stages            [numStages]*obs.Histogram
+	depths            [numQueues]*obs.Gauge
+	items, itemErrors *obs.Counter
+}
+
+func newPipeObs(reg *obs.Registry) *pipeObs {
+	if reg == nil {
+		return nil
+	}
+	o := &pipeObs{
+		items:      reg.Counter("irs_upload_stream_items_total"),
+		itemErrors: reg.Counter("irs_upload_stream_item_errors_total"),
+	}
+	for s, name := range [numStages]string{"decode", "label", "hash", "status", "commit"} {
+		o.stages[s] = reg.Histogram("irs_upload_stage_seconds", nil, obs.L("stage", name))
+	}
+	for q, name := range [numQueues]string{"work", "done"} {
+		o.depths[q] = reg.Gauge("irs_upload_queue_depth", obs.L("queue", name))
+	}
+	return o
+}
+
+func (o *pipeObs) observe(s pipeStage, start time.Time) {
+	if o == nil {
+		return
+	}
+	o.stages[s].Observe(time.Since(start).Seconds())
+}
+
+func (o *pipeObs) depth(q pipeQueue, n int) {
+	if o == nil {
+		return
+	}
+	o.depths[q].Set(int64(n))
+}
+
+// prepare runs the stateless half of the upload pipeline on one item:
+// decode, label extraction, provenance verification, perceptual
+// signature, and the read-only status prefetch. It mirrors the serial
+// Upload's work exactly — including which stages are skipped for which
+// deny outcomes — so commit reaches identical decisions.
+func (a *Aggregator) prepare(p *prep, po *pipeObs) {
+	if p.im == nil {
+		start := time.Now()
+		im, err := photo.DecodeIRSP(bytes.NewReader(p.raw))
+		po.observe(stageDecode, start)
+		if err != nil {
+			p.err = err
+			return
+		}
+		p.im = im
+		p.raw = nil
+	}
+	start := time.Now()
+	p.metaID, p.wmID, p.metaOK, p.wmOK = a.extractLabel(p.im)
+	po.observe(stageLabel, start)
+	switch {
+	case p.metaOK && p.wmOK && p.metaID != p.wmID:
+		return // label mismatch: denied before any heavier work
+	case p.metaOK != p.wmOK:
+		return // partial label: likewise
+	case !p.metaOK && !p.wmOK:
+		if a.cfg.Unlabeled == CustodialClaim {
+			// The custodial path needs the signature for its own
+			// derivative check; the reject path hashes nothing.
+			start = time.Now()
+			p.sig = phash.NewSignature(p.im)
+			p.sigDone = true
+			po.observe(stageHash, start)
+		}
+		return
+	}
+	// Consistent label: provenance gate, then signature, then the
+	// read-only status prefetch.
+	if chain, present, perr := provenance.Extract(p.im); present {
+		if perr != nil || chain.Verify(p.im) != nil {
+			p.provBad = true
+			return
+		}
+		if chainID, ok := chain.ClaimID(); ok && chainID != p.metaID {
+			p.provBad = true
+			return
+		}
+	}
+	start = time.Now()
+	p.sig = phash.NewSignature(p.im)
+	p.sigDone = true
+	po.observe(stageHash, start)
+
+	start = time.Now()
+	if svc, err := a.dir.For(p.metaID); err != nil {
+		p.statusErr = err
+	} else {
+		p.proof, p.statusErr = svc.Status(p.metaID)
+	}
+	p.statusDone = true
+	po.observe(stageStatus, start)
+}
+
+// commit runs the stateful half: the decision switch, the derivative
+// check against the hash database, custodial claiming, and hosting.
+// Callers must serialize commits in input order — this is the single
+// ordered stage of the pipeline.
+func (a *Aggregator) commit(p *prep) (UploadResult, error) {
+	switch {
+	case p.metaOK && p.wmOK && p.metaID != p.wmID:
+		return a.deny(DenyLabelMismatch), nil
+	case p.metaOK != p.wmOK:
+		return a.deny(DenyPartialLabel), nil
+	case !p.metaOK && !p.wmOK:
+		return a.commitUnlabeled(p)
+	}
+	if p.provBad {
+		return a.deny(DenyBadProvenance), nil
+	}
+	id := p.metaID
+	// Derivative check against the robust-hash database.
+	if prior, found := a.lookupHash(p.sig); found && prior != id {
+		return a.deny(DenyDerivativeRelabeled), nil
+	}
+	if p.statusErr != nil {
+		return a.deny(DenyLedgerUnreachable), nil
+	}
+	switch p.proof.State {
+	case ledger.StateActive:
+	case ledger.StateUnknown:
+		return a.deny(DenyUnknownClaim), nil
+	default:
+		return a.deny(DenyRevoked), nil
+	}
+	a.host(id, p.im, p.proof, false, p.sig)
+	return UploadResult{Accepted: true, ID: id}, nil
+}
+
+// commitUnlabeled is the §3.2 unlabeled branch: reject, or claim
+// custodially after the derivative check.
+func (a *Aggregator) commitUnlabeled(p *prep) (UploadResult, error) {
+	if a.cfg.Unlabeled == RejectUnlabeled {
+		return a.deny(DenyUnlabeled), nil
+	}
+	if _, found := a.lookupHash(p.sig); found {
+		// A derivative of hosted content arriving label-free: require
+		// the original metadata instead of custodially double-claiming.
+		return a.deny(DenyDerivativeRelabeled), nil
+	}
+	owned, labeled, err := a.custodialClaim(p.im)
+	if err != nil {
+		return a.deny(DenyLedgerUnreachable), nil
+	}
+	proof, err := a.cfg.CustodialLedger.Status(owned.ID)
+	if err != nil {
+		return a.deny(DenyLedgerUnreachable), nil
+	}
+	a.host(owned.ID, labeled, proof, true, phash.NewSignature(labeled))
+	return UploadResult{Accepted: true, ID: owned.ID, Custodial: true}, nil
+}
+
+// UploadStream runs the §3.2 pipeline over a stream of uploads and
+// returns a channel of per-item results in input-index order. The
+// caller must drain the returned channel; it closes after the last
+// result. Cancelling ctx stops admitting new items — items already in
+// flight drain normally, and UploadAll reports unprocessed items with
+// a non-nil Err.
+func (a *Aggregator) UploadStream(ctx context.Context, in <-chan UploadItem, cfg PipelineConfig) <-chan StreamResult {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = 2 * workers
+	}
+	po := newPipeObs(cfg.Obs)
+
+	work := make(chan *prep, depth)
+	done := make(chan *prep, depth)
+	out := make(chan StreamResult, depth)
+
+	// Feeder: tag items with their arrival index and admit them under
+	// backpressure until the input closes or ctx cancels.
+	go func() {
+		defer close(work)
+		idx := 0
+		for {
+			var item UploadItem
+			var ok bool
+			select {
+			case <-ctx.Done():
+				return
+			case item, ok = <-in:
+				if !ok {
+					return
+				}
+			}
+			p := &prep{idx: idx, im: item.Image, raw: item.Raw}
+			idx++
+			select {
+			case <-ctx.Done():
+				return
+			case work <- p:
+				po.depth(queueWork, len(work))
+			}
+		}
+	}()
+
+	// Compute workers: the stateless stages, concurrently. Delivery to
+	// the committer is unconditional — the committer drains done until
+	// it closes, so this send always completes.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				a.prepare(p, po)
+				done <- p
+				po.depth(queueDone, len(done))
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Ordered committer: reorder by index, then run the stateful stage
+	// and emit. The buffer is bounded by depth+workers: once done's
+	// capacity and every worker are holding out-of-order items, the
+	// workers stall until the missing index arrives.
+	go func() {
+		defer close(out)
+		pending := make(map[int]*prep)
+		next := 0
+		emit := func(p *prep) {
+			if p.err != nil {
+				po.bumpErr()
+				out <- StreamResult{Index: p.idx, Err: p.err}
+				return
+			}
+			a.mu.Lock()
+			a.metrics.Uploads++
+			a.mu.Unlock()
+			start := time.Now()
+			res, err := a.commit(p)
+			po.observe(stageCommit, start)
+			po.bumpItem()
+			out <- StreamResult{Index: p.idx, Result: res, Err: err}
+		}
+		for p := range done {
+			pending[p.idx] = p
+			for {
+				q, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				emit(q)
+			}
+		}
+		// The feeder may have dropped indices on cancellation; flush
+		// whatever completed, still in ascending index order.
+		for len(pending) > 0 {
+			for next <= maxIdx(pending) {
+				if q, ok := pending[next]; ok {
+					delete(pending, next)
+					emit(q)
+				}
+				next++
+			}
+		}
+	}()
+	return out
+}
+
+func maxIdx(m map[int]*prep) int {
+	max := -1
+	for i := range m {
+		if i > max {
+			max = i
+		}
+	}
+	return max
+}
+
+func (o *pipeObs) bumpItem() {
+	if o != nil {
+		o.items.Inc()
+	}
+}
+
+func (o *pipeObs) bumpErr() {
+	if o != nil {
+		o.itemErrors.Inc()
+	}
+}
+
+// UploadAll pushes a batch through UploadStream and returns one result
+// per item, in input order. Items the pipeline never processed (ctx
+// cancelled first) carry ctx's error, or ErrSkipped as a fallback.
+func (a *Aggregator) UploadAll(ctx context.Context, items []UploadItem, cfg PipelineConfig) []StreamResult {
+	in := make(chan UploadItem)
+	go func() {
+		defer close(in)
+		for _, it := range items {
+			select {
+			case <-ctx.Done():
+				return
+			case in <- it:
+			}
+		}
+	}()
+	results := make([]StreamResult, len(items))
+	seen := make([]bool, len(items))
+	for r := range a.UploadStream(ctx, in, cfg) {
+		if r.Index >= 0 && r.Index < len(results) {
+			results[r.Index] = r
+			seen[r.Index] = true
+		}
+	}
+	for i := range results {
+		if !seen[i] {
+			err := ctx.Err()
+			if err == nil {
+				err = ErrSkipped
+			}
+			results[i] = StreamResult{Index: i, Err: err}
+		}
+	}
+	return results
+}

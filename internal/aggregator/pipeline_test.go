@@ -1,0 +1,344 @@
+package aggregator
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"irs/internal/camera"
+	"irs/internal/ids"
+	"irs/internal/obs"
+	"irs/internal/parallel"
+	"irs/internal/phash"
+	"irs/internal/photo"
+	"irs/internal/watermark"
+	"irs/internal/wire"
+)
+
+// mixedCorpus builds one upload sequence exercising every decision
+// branch: accepts, every deny reason reachable without fault injection,
+// an order-sensitive derivative pair, and a malformed raw container.
+// The claims live on the rig's ledgers so the same items can be
+// replayed against any number of fresh aggregators.
+func mixedCorpus(t *testing.T, r *rig) []UploadItem {
+	t.Helper()
+	var items []UploadItem
+	add := func(im *photo.Image) { items = append(items, UploadItem{Image: im}) }
+
+	// Three clean labeled-active photos.
+	for seed := int64(0); seed < 3; seed++ {
+		labeled, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(900+seed, 192, 128))
+		if err != nil {
+			t.Fatal(err)
+		}
+		add(labeled)
+	}
+	// Revoked claim.
+	revoked, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(910, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.cam.Revoke(owned.ID); err != nil {
+		t.Fatal(err)
+	}
+	add(revoked)
+	// Fabricated label (consistent, but the claim does not exist).
+	fake, err := ids.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := camera.Label(photo.Synth(911, 192, 128), fake, "local://1", watermark.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(fab)
+	// Label mismatch: metadata swapped for a different identifier.
+	mism, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(912, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := ids.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := mism.Clone()
+	tampered.Meta.Set(photo.KeyIRSID, other.String())
+	add(tampered)
+	// Partial label: metadata stripped, watermark intact.
+	part, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(913, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped, err := photo.StripViaPNM(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(stripped)
+	// Unlabeled.
+	add(photo.Synth(914, 192, 128))
+	// Order-sensitive derivative pair: the original must be hosted
+	// before the relabeled copy arrives, or the derivative check flips.
+	orig, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(915, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(orig)
+	erased, err := watermark.Erase(orig, watermark.DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker := camera.New(&wire.Loopback{L: r.ownerLedger}, "local://1", nil)
+	relabeled, _, err := attacker.ClaimAndLabel(erased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(relabeled)
+	// A raw IRSP container, decoded inside the pipeline.
+	rawSrc, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(916, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := photo.EncodeIRSP(&buf, rawSrc); err != nil {
+		t.Fatal(err)
+	}
+	items = append(items, UploadItem{Raw: buf.Bytes()})
+	// A poisoned raw container: per-item error, stream keeps going.
+	items = append(items, UploadItem{Raw: []byte("not an IRSP container")})
+	return items
+}
+
+// freshAgg builds a new aggregator against the rig's existing
+// directory, so replays see the same ledger state but empty local
+// hosting and hash-DB state.
+func freshAgg(t *testing.T, r *rig, policy UnlabeledPolicy) *Aggregator {
+	t.Helper()
+	agg, err := New(Config{
+		Name:               "replay",
+		Unlabeled:          policy,
+		CustodialLedger:    &wire.Loopback{L: r.custLedger},
+		CustodialLedgerURL: "local://2",
+		RecheckInterval:    time.Hour,
+	}, r.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// decision is the comparable core of an upload outcome. Custodial
+// accept IDs are freshly issued per run, so they are compared only by
+// the Custodial flag, not by value.
+type decision struct {
+	accepted  bool
+	custodial bool
+	reason    DenyReason
+	id        ids.PhotoID
+	failed    bool
+}
+
+func toDecision(res UploadResult, err error) decision {
+	d := decision{
+		accepted:  res.Accepted,
+		custodial: res.Custodial,
+		reason:    res.Reason,
+		failed:    err != nil,
+	}
+	if res.Accepted && !res.Custodial {
+		d.id = res.ID
+	}
+	return d
+}
+
+// TestPipelineDecisionsMatchSerial replays one mixed corpus through the
+// serial Upload path and through UploadAll at several worker counts;
+// every run must reach the identical decision sequence, including the
+// order-sensitive derivative deny and the per-item decode error.
+func TestPipelineDecisionsMatchSerial(t *testing.T) {
+	for _, policy := range []UnlabeledPolicy{RejectUnlabeled, CustodialClaim} {
+		r := newRig(t, policy, nil)
+		items := mixedCorpus(t, r)
+
+		serial := make([]decision, len(items))
+		for i, it := range items {
+			im := it.Image
+			if im == nil {
+				dec, err := photo.DecodeIRSP(bytes.NewReader(it.Raw))
+				if err != nil {
+					serial[i] = decision{failed: true}
+					continue
+				}
+				im = dec
+			}
+			res, err := r.agg.Upload(im)
+			serial[i] = toDecision(res, err)
+		}
+		if !serial[len(items)-1].failed {
+			t.Fatal("corpus poison item did not fail serially")
+		}
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			agg := freshAgg(t, r, policy)
+			reg := obs.NewRegistry()
+			results := agg.UploadAll(context.Background(), items,
+				PipelineConfig{Workers: workers, Obs: reg})
+			if len(results) != len(items) {
+				t.Fatalf("policy %v workers %d: %d results for %d items",
+					policy, workers, len(results), len(items))
+			}
+			for i, res := range results {
+				if res.Index != i {
+					t.Fatalf("workers %d: result %d carries index %d", workers, i, res.Index)
+				}
+				if got := toDecision(res.Result, res.Err); got != serial[i] {
+					t.Errorf("policy %v workers %d item %d: pipeline %+v, serial %+v",
+						policy, workers, i, got, serial[i])
+				}
+			}
+			// The serial path and the pipeline must agree on hosted state
+			// for the non-custodial accepts.
+			for i, d := range serial {
+				if d.accepted && !d.custodial && !agg.Hosts(d.id) {
+					t.Errorf("workers %d: accepted item %d not hosted", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineCancellationDrains cancels mid-stream and checks the
+// stream shuts down promptly, without deadlock, and reports every
+// unadmitted item with a non-nil error in input order.
+func TestPipelineCancellationDrains(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	labeled, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(950, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	items := make([]UploadItem, n)
+	for i := range items {
+		items[i] = UploadItem{Image: labeled}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Cancel once a few results have been emitted, from a consumer-side
+	// hook: wrap UploadAll's stream manually so we can cancel mid-drain.
+	in := make(chan UploadItem)
+	go func() {
+		defer close(in)
+		for _, it := range items {
+			select {
+			case <-ctx.Done():
+				return
+			case in <- it:
+			}
+		}
+	}()
+	out := r.agg.UploadStream(ctx, in, PipelineConfig{Workers: 4, Depth: 2})
+	var processed int32
+	donech := make(chan struct{})
+	go func() {
+		defer close(donech)
+		for res := range out {
+			if res.Err == nil && !res.Result.Accepted {
+				panic("labeled-active upload denied")
+			}
+			if atomic.AddInt32(&processed, 1) == 5 {
+				cancel()
+			}
+		}
+	}()
+	select {
+	case <-donech:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream did not drain after cancellation")
+	}
+	got := atomic.LoadInt32(&processed)
+	if got < 5 || got == n {
+		t.Errorf("processed %d of %d items; want partial drain >= 5", got, n)
+	}
+	cancel()
+
+	// UploadAll on an already-cancelled context: every item reports the
+	// context error without touching the aggregator.
+	dead, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	results := r.agg.UploadAll(dead, items[:4], PipelineConfig{Workers: 2})
+	for i, res := range results {
+		if res.Err == nil {
+			t.Errorf("item %d processed under cancelled context", i)
+		} else if !errors.Is(res.Err, context.Canceled) && !errors.Is(res.Err, ErrSkipped) {
+			t.Errorf("item %d error %v", i, res.Err)
+		}
+	}
+}
+
+// TestPipelinePoisonedItem checks a malformed container yields a
+// per-item error while neighbours on both sides are processed.
+func TestPipelinePoisonedItem(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	labeled, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(960, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := photo.EncodeIRSP(&buf, labeled); err != nil {
+		t.Fatal(err)
+	}
+	items := []UploadItem{
+		{Raw: buf.Bytes()},
+		{Raw: []byte{0xde, 0xad}},
+		{Raw: buf.Bytes()},
+	}
+	results := r.agg.UploadAll(context.Background(), items, PipelineConfig{Workers: 3})
+	if results[0].Err != nil || !results[0].Result.Accepted || results[0].Result.ID != owned.ID {
+		t.Errorf("item 0: %+v err=%v", results[0].Result, results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("poisoned item 1 produced no error")
+	}
+	if results[2].Err != nil || !results[2].Result.Accepted {
+		t.Errorf("item 2: %+v err=%v", results[2].Result, results[2].Err)
+	}
+}
+
+// TestVideoUploadWorkerInvariance pins the batch-hashed video ingest:
+// the hosted signature set, and therefore every derivative lookup, is
+// identical whether SignatureAll ran on one worker or eight.
+func TestVideoUploadWorkerInvariance(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	v, err := r.cam.Record(970, 192, 128, 6, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, owned, err := r.cam.ClaimAndLabelVideo(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialSigs := make([]phash.Signature, len(labeled.Frames))
+	for i, f := range labeled.Frames {
+		serialSigs[i] = phash.NewSignature(f)
+	}
+	for _, workers := range []int{1, 8} {
+		prev := parallel.SetWorkers(workers)
+		agg := freshAgg(t, r, RejectUnlabeled)
+		res, err := agg.UploadVideo(labeled)
+		parallel.SetWorkers(prev)
+		if err != nil || !res.Accepted || res.ID != owned.ID {
+			t.Fatalf("workers %d: %+v %v", workers, res, err)
+		}
+		// Every frame — not just the poster — must resolve through the
+		// hash index, with signatures matching the serial computation.
+		for i := range labeled.Frames {
+			id, found := agg.lookupHash(serialSigs[i])
+			if !found || id != owned.ID {
+				t.Errorf("workers %d: frame %d signature not indexed (found=%v id=%v)",
+					workers, i, found, id)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package aggregator
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net/http"
@@ -15,6 +16,9 @@ import (
 // real content site would put in front of the §3.2 pipeline.
 //
 //	POST /v1/upload          body: IRSP container → UploadResponse
+//	POST /v1/upload/batch    body: repeated [u32 length][IRSP container]
+//	                           → BatchUploadResponse, processed through
+//	                           the streaming pipeline
 //	GET  /v1/photo?id=I      → IRSP container (with freshness proof in
 //	                           metadata), 404/410 when absent/taken down
 //	POST /v1/recheck         → RecheckResponse (operator endpoint)
@@ -32,6 +36,18 @@ type UploadResponse struct {
 	Custodial bool   `json:"custodial,omitempty"`
 }
 
+// BatchUploadResponse reports one outcome per item of a batch upload,
+// in input order.
+type BatchUploadResponse struct {
+	Results []BatchUploadItem `json:"results"`
+}
+
+// BatchUploadItem is one item's outcome inside a batch.
+type BatchUploadItem struct {
+	UploadResponse
+	Error string `json:"error,omitempty"`
+}
+
 // RecheckResponse reports a recheck pass.
 type RecheckResponse struct {
 	TakenDown int `json:"taken_down"`
@@ -46,6 +62,7 @@ const maxUploadBytes = 64 << 20
 func NewServer(a *Aggregator) *Server {
 	s := &Server{agg: a, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/upload", s.handleUpload)
+	s.mux.HandleFunc("POST /v1/upload/batch", s.handleUploadBatch)
 	s.mux.HandleFunc("GET /v1/photo", s.handlePhoto)
 	s.mux.HandleFunc("POST /v1/recheck", s.handleRecheck)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -81,6 +98,53 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusUnprocessableEntity
 	}
 	wire.WriteJSON(w, status, resp)
+}
+
+// handleUploadBatch accepts a concatenation of length-prefixed IRSP
+// containers (big-endian uint32 length, then that many bytes) and runs
+// them through the backpressured upload pipeline. Decoding happens on
+// the pipeline's compute workers; a malformed container fails only its
+// own slot.
+func (s *Server) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
+	body := io.LimitReader(r.Body, maxUploadBytes)
+	var items []UploadItem
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(body, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			wire.WriteError(w, http.StatusBadRequest, fmt.Sprintf("batch frame header: %v", err))
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxUploadBytes {
+			wire.WriteError(w, http.StatusBadRequest, fmt.Sprintf("batch frame of %d bytes exceeds limit", n))
+			return
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(body, blob); err != nil {
+			wire.WriteError(w, http.StatusBadRequest, fmt.Sprintf("batch frame body: %v", err))
+			return
+		}
+		items = append(items, UploadItem{Raw: blob})
+	}
+	results := s.agg.UploadAll(r.Context(), items, PipelineConfig{})
+	resp := &BatchUploadResponse{Results: make([]BatchUploadItem, len(results))}
+	for i, res := range results {
+		item := &resp.Results[i]
+		if res.Err != nil {
+			item.Error = res.Err.Error()
+			continue
+		}
+		item.Accepted = res.Result.Accepted
+		item.Reason = res.Result.Reason.String()
+		item.Custodial = res.Result.Custodial
+		if res.Result.Accepted {
+			item.ID = res.Result.ID.String()
+		}
+	}
+	wire.WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePhoto(w http.ResponseWriter, r *http.Request) {

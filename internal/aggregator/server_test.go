@@ -2,6 +2,7 @@ package aggregator
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -171,5 +172,63 @@ func TestServerStaleServeGone(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusGone {
 		t.Errorf("stale revoked serve status %d, want 410", resp.StatusCode)
+	}
+}
+
+func TestServerBatchUpload(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	srv := httptest.NewServer(NewServer(r.agg))
+	defer srv.Close()
+
+	labeled, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(55, 192, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame bytes.Buffer
+	if err := photo.EncodeIRSP(&frame, labeled); err != nil {
+		t.Fatal(err)
+	}
+	// Frames: good upload, garbage container, unlabeled photo.
+	var body bytes.Buffer
+	writeFrame := func(blob []byte) {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(blob)))
+		body.Write(hdr[:])
+		body.Write(blob)
+	}
+	writeFrame(frame.Bytes())
+	writeFrame([]byte("garbage"))
+	var unl bytes.Buffer
+	if err := photo.EncodeIRSP(&unl, photo.Synth(56, 64, 48)); err != nil {
+		t.Fatal(err)
+	}
+	writeFrame(unl.Bytes())
+
+	resp, err := http.Post(srv.URL+"/v1/upload/batch", "application/x-irsp-batch", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out BatchUploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(out.Results))
+	}
+	if !out.Results[0].Accepted || out.Results[0].ID != owned.ID.String() {
+		t.Errorf("item 0: %+v", out.Results[0])
+	}
+	if out.Results[1].Error == "" || out.Results[1].Accepted {
+		t.Errorf("item 1: %+v", out.Results[1])
+	}
+	if out.Results[2].Accepted || out.Results[2].Reason != DenyUnlabeled.String() {
+		t.Errorf("item 2: %+v", out.Results[2])
+	}
+	if !r.agg.Hosts(owned.ID) {
+		t.Error("batch-accepted photo not hosted")
 	}
 }

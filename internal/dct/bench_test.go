@@ -1,0 +1,21 @@
+package dct
+
+import "testing"
+
+// BenchmarkDCT8x8 is the kernel-regression guard's target: one full
+// 8×8 forward+inverse round trip on the unrolled fast path, pinned at
+// 0 allocs/op by scripts/check.sh.
+func BenchmarkDCT8x8(b *testing.B) {
+	src := NewBlock(8)
+	coef := NewBlock(8)
+	pix := NewBlock(8)
+	for i := range src.Data {
+		src.Data[i] = float64(i%17) - 8
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward8(coef, src)
+		Inverse8(pix, coef)
+	}
+}

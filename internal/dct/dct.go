@@ -9,9 +9,13 @@
 // and the DCT variant of PhotoDNA-style robust hashing [13].
 //
 // The implementation is a direct O(N²) transform per row/column with
-// precomputed cosine tables. For the tiny block sizes used here (8 and 32)
-// this is fast, allocation-free after table construction, and exactly
-// invertible to floating-point precision, which the tests assert.
+// precomputed cosine tables stored as flat row-major slices (basis and
+// transposed basis), so both transform directions are unit-stride dot
+// products whose inner loops carry no bounds checks. The 8×8 size —
+// every watermark block — additionally has a fully unrolled fast path
+// (dct8.go) that Forward2D/Inverse2D dispatch to. All paths are
+// allocation-free after table construction and bit-identical to each
+// other, which the tests assert.
 package dct
 
 import (
@@ -20,13 +24,19 @@ import (
 	"sync/atomic"
 )
 
-// table holds the orthonormal DCT-II basis for a given N:
-// basis[k][n] = c(k) * cos(pi*(2n+1)*k/(2N)), with c(0)=sqrt(1/N),
-// c(k>0)=sqrt(2/N). With this scaling the transform matrix is orthogonal,
-// so the inverse is the transpose.
+// table holds the orthonormal DCT-II basis for a given N as two flat
+// row-major slices:
+//
+//	basis[k*n+i]  = c(k) * cos(pi*(2i+1)*k/(2N))
+//	basisT[i*n+k] = basis[k*n+i]
+//
+// with c(0)=sqrt(1/N), c(k>0)=sqrt(2/N). With this scaling the
+// transform matrix is orthogonal, so the inverse is the transpose —
+// basisT makes the inverse's inner products unit-stride too.
 type table struct {
-	n     int
-	basis [][]float64
+	n      int
+	basis  []float64 // len n*n, row-major
+	basisT []float64 // len n*n, transposed
 }
 
 // tables is a copy-on-write map so the per-transform read path is a
@@ -45,17 +55,17 @@ func init() {
 }
 
 func buildTable(n int) *table {
-	t := &table{n: n, basis: make([][]float64, n)}
+	t := &table{n: n, basis: make([]float64, n*n), basisT: make([]float64, n*n)}
 	for k := 0; k < n; k++ {
-		row := make([]float64, n)
 		c := math.Sqrt(2 / float64(n))
 		if k == 0 {
 			c = math.Sqrt(1 / float64(n))
 		}
 		for i := 0; i < n; i++ {
-			row[i] = c * math.Cos(math.Pi*(2*float64(i)+1)*float64(k)/(2*float64(n)))
+			v := c * math.Cos(math.Pi*(2*float64(i)+1)*float64(k)/(2*float64(n)))
+			t.basis[k*n+i] = v
+			t.basisT[i*n+k] = v
 		}
-		t.basis[k] = row
 	}
 	return t
 }
@@ -86,15 +96,29 @@ func Forward1D(dst, src []float64) {
 	forward1D(tableFor(len(src)), dst, src)
 }
 
-func forward1D(t *table, dst, src []float64) {
-	for k := 0; k < t.n; k++ {
+// dotRows computes dst[k] = Σ_i src[i]·mat[k*n+i] for every k — the
+// shared inner kernel of both transform directions. The row is resliced
+// to len(src) before the accumulation loop, so the loop body indexes
+// two slices the compiler knows are the same length: one slice-bound
+// check per row, zero checks per element.
+func dotRows(dst, src, mat []float64, n int) {
+	off := 0
+	for k := range dst {
+		row := mat[off:]
+		if len(row) > len(src) {
+			row = row[:len(src)]
+		}
 		var s float64
-		row := t.basis[k]
 		for i, v := range src {
 			s += v * row[i]
 		}
 		dst[k] = s
+		off += n
 	}
+}
+
+func forward1D(t *table, dst, src []float64) {
+	dotRows(dst, src, t.basis, t.n)
 }
 
 // Inverse1D writes the DCT-III (inverse of Forward1D) of src into dst.
@@ -103,13 +127,11 @@ func Inverse1D(dst, src []float64) {
 }
 
 func inverse1D(t *table, dst, src []float64) {
-	for i := 0; i < t.n; i++ {
-		var s float64
-		for k, v := range src {
-			s += v * t.basis[k][i]
-		}
-		dst[i] = s
-	}
+	// dst[i] = Σ_k src[k]·basis[k*n+i]: a column access on basis, which
+	// is exactly a row access on basisT — same kernel, same (k-ascending)
+	// accumulation order, so the result is bit-identical to the direct
+	// column walk.
+	dotRows(dst, src, t.basisT, t.n)
 }
 
 // Block is a square coefficient or sample block stored row-major.
@@ -129,12 +151,13 @@ func (b *Block) At(r, c int) float64 { return b.Data[r*b.N+c] }
 // Set assigns the element at row r, column c.
 func (b *Block) Set(r, c int, v float64) { b.Data[r*b.N+c] = v }
 
-// scratch is the per-transform working memory for the 2D paths. The
-// serial implementation allocated three slices per call — three allocs
-// per 8×8 block is the dominant allocation cost of watermark embed and
-// extract — so 2D transforms now draw scratch from a pool. Capacities
-// only grow (the repo uses N=8 and N=32), so steady state is
-// allocation-free.
+// scratch is the per-transform working memory for the generic 2D paths.
+// The serial implementation allocated three slices per call — three
+// allocs per block is the dominant allocation cost of the media hot
+// paths — so 2D transforms draw scratch from a pool. Capacities only
+// grow (the repo uses N=8 and N=32), so steady state is
+// allocation-free. The 8×8 fast path keeps its scratch on the stack
+// and never touches the pool.
 type scratch struct {
 	tmp, out, inter []float64
 }
@@ -158,6 +181,10 @@ func getScratch(n int) *scratch {
 // Both blocks must have the same N. dst and src may alias.
 func Forward2D(dst, src *Block) {
 	n := src.N
+	if n == 8 {
+		Forward8(dst, src)
+		return
+	}
 	t := tableFor(n)
 	s := getScratch(n)
 	tmp, out, inter := s.tmp, s.out, s.inter
@@ -180,10 +207,49 @@ func Forward2D(dst, src *Block) {
 	scratchPool.Put(s)
 }
 
+// Forward2DCorner computes only the top-left m×m corner of the 2D
+// DCT-II of src, writing those dst entries and leaving the rest of dst
+// untouched. Each computed coefficient accumulates in exactly the same
+// order as Forward2D, so the corner is bit-identical to the full
+// transform — the perceptual hash reads only the low-frequency corner,
+// and skipping the other outputs cuts the row pass to m of n outputs
+// and the column pass to m of n columns.
+func Forward2DCorner(dst, src *Block, m int) {
+	n := src.N
+	if m >= n {
+		Forward2D(dst, src)
+		return
+	}
+	t := tableFor(n)
+	s := getScratch(n)
+	tmp, out, inter := s.tmp, s.out, s.inter
+	// Row pass: every input row, but only the first m frequencies.
+	for r := 0; r < n; r++ {
+		copy(tmp, src.Data[r*n:(r+1)*n])
+		forward1D(t, out[:m], tmp)
+		copy(inter[r*n:r*n+m], out[:m])
+	}
+	// Column pass: only the first m columns, first m frequencies each.
+	for c := 0; c < m; c++ {
+		for r := 0; r < n; r++ {
+			tmp[r] = inter[r*n+c]
+		}
+		forward1D(t, out[:m], tmp)
+		for r := 0; r < m; r++ {
+			dst.Data[r*n+c] = out[r]
+		}
+	}
+	scratchPool.Put(s)
+}
+
 // Inverse2D computes the 2D inverse DCT of src into dst. dst and src may
 // alias.
 func Inverse2D(dst, src *Block) {
 	n := src.N
+	if n == 8 {
+		Inverse8(dst, src)
+		return
+	}
 	t := tableFor(n)
 	s := getScratch(n)
 	tmp, out, inter := s.tmp, s.out, s.inter

@@ -1,0 +1,43 @@
+package dct
+
+// Fixed-size 8×8 fast path. The watermark transforms every 8×8 luma
+// block of every uploaded image through Forward2D/Inverse2D, so this
+// size gets a dedicated kernel: fully unrolled row/column passes over
+// [8][8]float64 basis tables, written so the compiler proves every
+// index in range and emits no bounds checks (the kernels live in
+// kernel8.go, which scripts/check_bce.sh asserts stays clean).
+//
+// Bit-exactness contract: fdct8/idct8 accumulate each output element
+// in the same left-to-right term order as the generic forward1D /
+// inverse1D loops, so the fast path produces bit-identical float64
+// results — the committed experiment tables and every hash derived
+// from DCT output are unchanged by taking this path.
+
+// basis8 is the N=8 orthonormal DCT-II basis, basis8[k][i]; basis8T is
+// its transpose, which turns the inverse (a column access pattern on
+// basis8) into the same row-major dot-product shape as the forward.
+var basis8, basis8T [8][8]float64
+
+func init() {
+	t := buildTable(8)
+	for k := 0; k < 8; k++ {
+		for i := 0; i < 8; i++ {
+			basis8[k][i] = t.basis[k*8+i]
+			basis8T[i][k] = t.basis[k*8+i]
+		}
+	}
+}
+
+// Forward8 computes the 2D DCT-II of an 8×8 block. Both blocks must
+// have N == 8 (the slice→array conversion panics otherwise, which is
+// the same contract violation the generic path would hit). dst and src
+// may alias.
+func Forward8(dst, src *Block) {
+	forward8((*[64]float64)(dst.Data), (*[64]float64)(src.Data))
+}
+
+// Inverse8 computes the 2D inverse DCT of an 8×8 block. dst and src
+// may alias.
+func Inverse8(dst, src *Block) {
+	inverse8((*[64]float64)(dst.Data), (*[64]float64)(src.Data))
+}

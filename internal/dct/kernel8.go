@@ -1,0 +1,76 @@
+package dct
+
+// The four pure 8×8 kernels live alone in this file so
+// scripts/check_bce.sh can assert the whole file compiles with zero
+// bounds checks (`-d=ssa/check_bce` reports findings by file:line, not
+// by function). Everything here indexes fixed-size arrays with
+// compiler-provable bounds; do not add slice-typed parameters or
+// variable-length indexing to this file.
+
+// fdct8 computes the length-8 DCT-II: dst[k] = Σ_i src[i]·basis8[k][i].
+func fdct8(dst, src *[8]float64) {
+	s0, s1, s2, s3 := src[0], src[1], src[2], src[3]
+	s4, s5, s6, s7 := src[4], src[5], src[6], src[7]
+	for k := 0; k < 8; k++ {
+		b := &basis8[k]
+		dst[k] = s0*b[0] + s1*b[1] + s2*b[2] + s3*b[3] +
+			s4*b[4] + s5*b[5] + s6*b[6] + s7*b[7]
+	}
+}
+
+// idct8 computes the length-8 DCT-III: dst[i] = Σ_k src[k]·basis8[k][i],
+// read through the transposed table so the inner products are unit-stride.
+func idct8(dst, src *[8]float64) {
+	s0, s1, s2, s3 := src[0], src[1], src[2], src[3]
+	s4, s5, s6, s7 := src[4], src[5], src[6], src[7]
+	for i := 0; i < 8; i++ {
+		b := &basis8T[i]
+		dst[i] = s0*b[0] + s1*b[1] + s2*b[2] + s3*b[3] +
+			s4*b[4] + s5*b[5] + s6*b[6] + s7*b[7]
+	}
+}
+
+// forward8 is the 2D 8×8 DCT-II: rows then columns, matching the
+// generic Forward2D pass structure exactly. dst and src may be the
+// same array.
+func forward8(dst, src *[64]float64) {
+	var inter [64]float64
+	var row, out [8]float64
+	for r := 0; r < 8; r++ {
+		o := r * 8
+		row[0], row[1], row[2], row[3] = src[o], src[o+1], src[o+2], src[o+3]
+		row[4], row[5], row[6], row[7] = src[o+4], src[o+5], src[o+6], src[o+7]
+		fdct8(&out, &row)
+		inter[o], inter[o+1], inter[o+2], inter[o+3] = out[0], out[1], out[2], out[3]
+		inter[o+4], inter[o+5], inter[o+6], inter[o+7] = out[4], out[5], out[6], out[7]
+	}
+	for c := 0; c < 8; c++ {
+		row[0], row[1], row[2], row[3] = inter[c], inter[c+8], inter[c+16], inter[c+24]
+		row[4], row[5], row[6], row[7] = inter[c+32], inter[c+40], inter[c+48], inter[c+56]
+		fdct8(&out, &row)
+		dst[c], dst[c+8], dst[c+16], dst[c+24] = out[0], out[1], out[2], out[3]
+		dst[c+32], dst[c+40], dst[c+48], dst[c+56] = out[4], out[5], out[6], out[7]
+	}
+}
+
+// inverse8 is the 2D 8×8 inverse DCT: columns then rows, matching the
+// generic Inverse2D pass structure. dst and src may be the same array.
+func inverse8(dst, src *[64]float64) {
+	var inter [64]float64
+	var col, out [8]float64
+	for c := 0; c < 8; c++ {
+		col[0], col[1], col[2], col[3] = src[c], src[c+8], src[c+16], src[c+24]
+		col[4], col[5], col[6], col[7] = src[c+32], src[c+40], src[c+48], src[c+56]
+		idct8(&out, &col)
+		inter[c], inter[c+8], inter[c+16], inter[c+24] = out[0], out[1], out[2], out[3]
+		inter[c+32], inter[c+40], inter[c+48], inter[c+56] = out[4], out[5], out[6], out[7]
+	}
+	for r := 0; r < 8; r++ {
+		o := r * 8
+		col[0], col[1], col[2], col[3] = inter[o], inter[o+1], inter[o+2], inter[o+3]
+		col[4], col[5], col[6], col[7] = inter[o+4], inter[o+5], inter[o+6], inter[o+7]
+		idct8(&out, &col)
+		dst[o], dst[o+1], dst[o+2], dst[o+3] = out[0], out[1], out[2], out[3]
+		dst[o+4], dst[o+5], dst[o+6], dst[o+7] = out[4], out[5], out[6], out[7]
+	}
+}

@@ -1,0 +1,129 @@
+package phash
+
+import "encoding/binary"
+
+// Pure inner-loop kernels of the perceptual hashes. Everything in this
+// file indexes fixed-size arrays or same-length slices with bounds the
+// compiler can prove, so the hot loops carry no bounds checks —
+// scripts/check_bce.sh asserts this file compiles clean. Keep
+// variable-length slicing and image-geometry arithmetic in phash.go;
+// only the provable loops belong here.
+
+// sumRowBytes sums one run of single-channel pixels. Eight bytes at a
+// time are loaded as one word and folded lane-wise (SWAR): bytes pair
+// into 16-bit lanes, lanes into 32-bit halves, halves into one sum —
+// integer addition is exact and order-free, so the result is identical
+// to the byte-at-a-time loop for any input.
+func sumRowBytes(row []byte) int64 {
+	const (
+		m8  = 0x00ff00ff00ff00ff
+		m16 = 0x0000ffff0000ffff
+	)
+	var s int64
+	for len(row) >= 8 {
+		v := binary.LittleEndian.Uint64(row)
+		v = v&m8 + v>>8&m8
+		v = v&m16 + v>>16&m16
+		s += int64(v&0xffffffff + v>>32)
+		row = row[8:]
+	}
+	for _, p := range row {
+		s += int64(p)
+	}
+	return s
+}
+
+// sumRowRGB sums the BT.601 integer luma of one run of interleaved RGB
+// pixels (len(row) is a multiple of 3). The per-pixel (299r+587g+114b)/1000
+// truncation matches photo.Image.Gray exactly, so the integer
+// accumulation reproduces the float path bit for bit — int32 holds the
+// weighted sum of one pixel (max 255000) with room to spare.
+func sumRowRGB(row []byte) int64 {
+	var s int64
+	for len(row) >= 3 {
+		r, g, b := int32(row[0]), int32(row[1]), int32(row[2])
+		s += int64((299*r + 587*g + 114*b) / 1000)
+		row = row[3:]
+	}
+	return s
+}
+
+// meanBits64 computes the AHash decision: bit i set where cells[i]
+// exceeds the mean, accumulated in index order like the original loop.
+func meanBits64(cells *[64]float64) uint64 {
+	var mean float64
+	for _, v := range cells {
+		mean += v
+	}
+	mean /= 64
+	var h uint64
+	for i, v := range cells {
+		if v > mean {
+			h |= 1 << uint(i)
+		}
+	}
+	return h
+}
+
+// gradBits72 computes the DHash decision over a 9×8 cell grid: bit set
+// where each cell is brighter than its right neighbor.
+func gradBits72(cells *[72]float64) uint64 {
+	var h uint64
+	i := 0
+	for rows := cells[:]; len(rows) >= 9; rows = rows[9:] {
+		c0, c1, c2, c3, c4 := rows[0], rows[1], rows[2], rows[3], rows[4]
+		c5, c6, c7, c8 := rows[5], rows[6], rows[7], rows[8]
+		if c0 > c1 {
+			h |= 1 << uint(i)
+		}
+		if c1 > c2 {
+			h |= 1 << uint(i+1)
+		}
+		if c2 > c3 {
+			h |= 1 << uint(i+2)
+		}
+		if c3 > c4 {
+			h |= 1 << uint(i+3)
+		}
+		if c4 > c5 {
+			h |= 1 << uint(i+4)
+		}
+		if c5 > c6 {
+			h |= 1 << uint(i+5)
+		}
+		if c6 > c7 {
+			h |= 1 << uint(i+6)
+		}
+		if c7 > c8 {
+			h |= 1 << uint(i+7)
+		}
+		i += 8
+	}
+	return h
+}
+
+// cornerVals gathers the top-left 8×8 corner of a 32×32 coefficient
+// block into vals in row-major order, replacing DC with the (8,8)
+// diagonal coefficient — the same layout PHash always used.
+func cornerVals(coef *[1024]float64, vals *[64]float64) {
+	v, c := vals[:], coef[:256]
+	for len(v) >= 8 && len(c) >= 32 {
+		v[0], v[1], v[2], v[3] = c[0], c[1], c[2], c[3]
+		v[4], v[5], v[6], v[7] = c[4], c[5], c[6], c[7]
+		v = v[8:]
+		c = c[32:]
+	}
+	vals[0] = coef[8*32+8]
+}
+
+// signBits64 computes the PHash decision: bit i set where vals[i]
+// exceeds the median.
+func signBits64(vals *[64]float64, med float64) uint64 {
+	var h uint64
+	for i, v := range vals {
+		if v > med {
+			h |= 1 << uint(i)
+		}
+	}
+	return h
+}

@@ -24,6 +24,7 @@ package phash
 import (
 	"math"
 	"math/bits"
+	"sync"
 
 	"irs/internal/dct"
 	"irs/internal/parallel"
@@ -43,67 +44,92 @@ const DefaultThreshold = 10
 // Match reports whether two hashes are within the threshold.
 func Match(a, b Hash, threshold int) bool { return Distance(a, b) <= threshold }
 
-// downscaleGray box-filters the luma plane to exactly w×h samples.
-// A box filter (rather than bilinear) makes the hash insensitive to the
-// high-frequency content that compression perturbs.
-func downscaleGray(im *photo.Image, w, h int) []float64 {
-	out := make([]float64, w*h)
+// hashScratch is the per-hash working set: downscale cells, DCT
+// coefficients, the corner gather, and the median sort buffer. All
+// three hashes draw one from the pool, so after warmup a hash performs
+// zero allocations — the upload pipeline hashes every image three
+// times, and the old per-call slices were its dominant allocation
+// cost.
+type hashScratch struct {
+	cells [1024]float64 // 32×32 downscale plane (AHash/DHash use a prefix)
+	coef  [1024]float64
+	vals  [64]float64
+	sort  [64]float64
+}
+
+var hashPool = sync.Pool{New: func() any { return new(hashScratch) }}
+
+// downscaleInto box-filters the luma plane to exactly w×h samples,
+// writing into dst (len w*h). A box filter (rather than bilinear)
+// makes the hash insensitive to the high-frequency content that
+// compression perturbs.
+//
+// The accumulation is integer: pixel luma is an exact integer (bytes
+// for grayscale, the BT.601 integer projection for RGB), and a cell's
+// pixel sum stays far below 2^53, so summing in int64 and converting
+// once is bit-identical to the old float64 accumulation — the
+// committed hash corpora and every E-table stand unchanged, which
+// TestHashesBitIdenticalToFloatReference pins.
+func downscaleInto(dst []float64, im *photo.Image, w, h int) {
+	imW, imH := im.W, im.H
+	pix := im.Pix
+	rgb := im.Channels != 1
 	for oy := 0; oy < h; oy++ {
-		y0 := oy * im.H / h
-		y1 := (oy + 1) * im.H / h
+		y0 := oy * imH / h
+		y1 := (oy + 1) * imH / h
 		if y1 <= y0 {
 			y1 = y0 + 1
 		}
+		ye := y1
+		if ye > imH {
+			ye = imH
+		}
 		for ox := 0; ox < w; ox++ {
-			x0 := ox * im.W / w
-			x1 := (ox + 1) * im.W / w
+			x0 := ox * imW / w
+			x1 := (ox + 1) * imW / w
 			if x1 <= x0 {
 				x1 = x0 + 1
 			}
-			var sum float64
-			for y := y0; y < y1 && y < im.H; y++ {
-				for x := x0; x < x1 && x < im.W; x++ {
-					sum += float64(im.Gray(x, y))
+			xe := x1
+			if xe > imW {
+				xe = imW
+			}
+			var sum int64
+			if rgb {
+				base := y0 * imW
+				for y := y0; y < ye; y++ {
+					sum += sumRowRGB(pix[(base+x0)*3 : (base+xe)*3])
+					base += imW
+				}
+			} else {
+				base := y0 * imW
+				for y := y0; y < ye; y++ {
+					sum += sumRowBytes(pix[base+x0 : base+xe])
+					base += imW
 				}
 			}
-			out[oy*w+ox] = sum / float64((y1-y0)*(x1-x0))
+			dst[oy*w+ox] = float64(sum) / float64((y1-y0)*(x1-x0))
 		}
 	}
-	return out
 }
 
 // AHash computes the average hash: 8×8 downscale, bit set where the cell
 // exceeds the mean.
 func AHash(im *photo.Image) Hash {
-	cells := downscaleGray(im, 8, 8)
-	var mean float64
-	for _, v := range cells {
-		mean += v
-	}
-	mean /= 64
-	var h Hash
-	for i, v := range cells {
-		if v > mean {
-			h |= 1 << uint(i)
-		}
-	}
+	s := hashPool.Get().(*hashScratch)
+	downscaleInto(s.cells[:64], im, 8, 8)
+	h := Hash(meanBits64((*[64]float64)(s.cells[:64])))
+	hashPool.Put(s)
 	return h
 }
 
 // DHash computes the difference hash: 9×8 downscale, bit set where each
 // cell is brighter than its right neighbor.
 func DHash(im *photo.Image) Hash {
-	cells := downscaleGray(im, 9, 8)
-	var h Hash
-	i := 0
-	for y := 0; y < 8; y++ {
-		for x := 0; x < 8; x++ {
-			if cells[y*9+x] > cells[y*9+x+1] {
-				h |= 1 << uint(i)
-			}
-			i++
-		}
-	}
+	s := hashPool.Get().(*hashScratch)
+	downscaleInto(s.cells[:72], im, 9, 8)
+	h := Hash(gradBits72((*[72]float64)(s.cells[:72])))
+	hashPool.Put(s)
 	return h
 }
 
@@ -111,29 +137,38 @@ func DHash(im *photo.Image) Hash {
 // each of the 64 lowest-frequency coefficients (excluding DC, which is
 // replaced by the next diagonal coefficient) against their median.
 func PHash(im *photo.Image) Hash {
-	cells := downscaleGray(im, 32, 32)
-	blk := &dct.Block{N: 32, Data: cells}
-	coef := dct.NewBlock(32)
-	dct.Forward2D(coef, blk)
-	// Collect the top-left 8×8 corner, skipping DC.
-	vals := make([]float64, 0, 64)
-	for y := 0; y < 8; y++ {
-		for x := 0; x < 8; x++ {
-			if x == 0 && y == 0 {
-				vals = append(vals, coef.At(8, 8))
-				continue
-			}
-			vals = append(vals, coef.At(y, x))
-		}
-	}
-	med := median(vals)
-	var h Hash
-	for i, v := range vals {
-		if v > med {
-			h |= 1 << uint(i)
-		}
-	}
+	s := hashPool.Get().(*hashScratch)
+	downscaleInto(s.cells[:1024], im, 32, 32)
+	blk := dct.Block{N: 32, Data: s.cells[:1024]}
+	coef := dct.Block{N: 32, Data: s.coef[:1024]}
+	// Only the top-left 8×8 corner plus the (8,8) DC stand-in feed the
+	// hash, so a 9×9 partial transform is all the DCT work needed.
+	dct.Forward2DCorner(&coef, &blk, 9)
+	cornerVals(&s.coef, &s.vals)
+	med := median64(&s.vals, &s.sort)
+	h := Hash(signBits64(&s.vals, med))
+	hashPool.Put(s)
 	return h
+}
+
+// median64 returns the median of vals without modifying it, insertion-
+// sorting a scratch copy — same algorithm and even-length averaging as
+// the allocating median helper. It lives outside kernel.go because the
+// descending-index store in the insertion loop is the one hash loop
+// the prove pass cannot clear; it runs 64 times per PHash, not per
+// pixel.
+func median64(vals, sortBuf *[64]float64) float64 {
+	*sortBuf = *vals
+	for i := 1; i < 64; i++ {
+		v := sortBuf[i]
+		j := i
+		for j > 0 && sortBuf[j-1] > v {
+			sortBuf[j] = sortBuf[j-1]
+			j--
+		}
+		sortBuf[j] = v
+	}
+	return (sortBuf[31] + sortBuf[32]) / 2
 }
 
 // median returns the median without modifying vals.

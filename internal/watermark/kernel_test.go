@@ -1,0 +1,147 @@
+package watermark
+
+import (
+	"testing"
+
+	"irs/internal/dct"
+	"irs/internal/photo"
+)
+
+// refSearchPixelPhase is the pre-collapse per-phase rescan, kept
+// verbatim as the oracle for the cyclic-shift vote sweep: same DCT
+// pass, then a fresh O(blocks) vote accumulation for every one of the
+// 160 codeword phases.
+func refSearchPixelPhase(luma []float64, w, px, py, bw, bh int, cfg Config) (c phaseCandidate) {
+	src := dct.NewBlock(8)
+	coef := dct.NewBlock(8)
+	ci := cfg.CoefU*8 + cfg.CoefV
+	votes := make([]float64, codewordBits)
+	counts := make([]int, codewordBits)
+	hard := make([]bool, codewordBits)
+	soft := make([]float64, bw*bh)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			loadBlock(src, luma, w, px+bx*8, py+by*8)
+			dct.Forward2D(coef, src)
+			soft[by*bw+bx] = qimSoft(coef.Data[ci], cfg.Delta)
+		}
+	}
+	c.res = Result{Margin: -1}
+	for cy := 0; cy < cfg.TileH; cy++ {
+		for cx := 0; cx < cfg.TileW; cx++ {
+			for i := range votes {
+				votes[i] = 0
+				counts[i] = 0
+			}
+			for by := 0; by < bh; by++ {
+				row := ((by + cy) % cfg.TileH) * cfg.TileW
+				for bx := 0; bx < bw; bx++ {
+					idx := row + (bx+cx)%cfg.TileW
+					votes[idx] += soft[by*bw+bx]
+					counts[idx]++
+				}
+			}
+			covered := true
+			var margin float64
+			for i := range votes {
+				if counts[i] == 0 {
+					covered = false
+					break
+				}
+				hard[i] = votes[i] > 0
+				m := votes[i] / float64(counts[i])
+				if m < 0 {
+					m = -m
+				}
+				margin += m
+			}
+			if !covered {
+				continue
+			}
+			margin /= codewordBits
+			payload, ok := decodeword(new([20]byte), hard)
+			if ok && margin > c.res.Margin {
+				c.res = Result{
+					Payload:     payload,
+					Margin:      margin,
+					PixelPhaseX: px, PixelPhaseY: py,
+					CodePhaseX: cx, CodePhaseY: cy,
+				}
+				c.found = true
+			}
+		}
+	}
+	return c
+}
+
+// TestSearchPixelPhaseBitIdentical pins the collapsed vote sweep to the
+// per-phase rescan it replaced: identical candidate, margin (exactly),
+// and phase coordinates on watermarked, cropped, and unmarked inputs.
+func TestSearchPixelPhaseBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	base := photo.Synth(31, 200, 152)
+	marked, err := Embed(base, [PayloadBytes]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cropped, err := photo.Crop(marked, 13, 9, 160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, im := range map[string]*photo.Image{
+		"aligned":  marked,
+		"cropped":  cropped,
+		"unmarked": base,
+	} {
+		luma := im.Luma()
+		for _, p := range [][2]int{{0, 0}, {3, 5}, {7, 7}} {
+			px, py := p[0], p[1]
+			bw, bh := (im.W-px)/8, (im.H-py)/8
+			if bw < 1 || bh < 1 {
+				continue
+			}
+			got := searchPixelPhase(luma, im.W, px, py, bw, bh, cfg)
+			want := refSearchPixelPhase(luma, im.W, px, py, bw, bh, cfg)
+			if got.found != want.found || got.res != want.res {
+				t.Errorf("%s phase (%d,%d): got %+v found=%v, reference %+v found=%v",
+					name, px, py, got.res, got.found, want.res, want.found)
+			}
+		}
+	}
+}
+
+// TestExtractZeroAllocSearch pins the pooled phase scratch: after
+// warmup, one pixel-phase search allocates nothing.
+func TestExtractZeroAllocSearch(t *testing.T) {
+	cfg := DefaultConfig()
+	im := photo.Synth(32, 160, 120)
+	marked, err := Embed(im, [PayloadBytes]byte{9}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	luma := marked.Luma()
+	bw, bh := marked.W/8, marked.H/8
+	searchPixelPhase(luma, marked.W, 0, 0, bw, bh, cfg) // warm the pool
+	if n := testing.AllocsPerRun(10, func() {
+		searchPixelPhase(luma, marked.W, 0, 0, bw, bh, cfg)
+	}); n != 0 {
+		t.Errorf("searchPixelPhase allocates %v times per call, want 0", n)
+	}
+}
+
+func BenchmarkEmbedExtract(b *testing.B) {
+	cfg := DefaultConfig()
+	im := photo.Synth(33, 256, 192)
+	payload := [PayloadBytes]byte{42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		marked, err := Embed(im, payload, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ExtractAligned(marked, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

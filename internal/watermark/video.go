@@ -37,9 +37,16 @@ type VideoResult struct {
 // search) and returns the majority payload. It fails only when no frame
 // yields a valid read.
 func ExtractVideo(v *photo.Video, cfg Config) (VideoResult, error) {
-	votes := make(map[[PayloadBytes]byte]int)
+	// Ties between equally-voted payloads break toward the payload first
+	// read (lowest frame index), never by map iteration order — the
+	// winning payload must be a deterministic function of the frames.
+	type tally struct {
+		n     int
+		first int
+	}
+	votes := make(map[[PayloadBytes]byte]*tally)
 	read := 0
-	for _, f := range v.Frames {
+	for i, f := range v.Frames {
 		res, err := ExtractAligned(f, cfg)
 		if err != nil {
 			res, err = Extract(f, cfg)
@@ -47,17 +54,22 @@ func ExtractVideo(v *photo.Video, cfg Config) (VideoResult, error) {
 		if err != nil {
 			continue
 		}
-		votes[res.Payload]++
+		t := votes[res.Payload]
+		if t == nil {
+			t = &tally{first: i}
+			votes[res.Payload] = t
+		}
+		t.n++
 		read++
 	}
 	if read == 0 {
 		return VideoResult{}, ErrNotFound
 	}
 	var best [PayloadBytes]byte
-	bestN := -1
-	for p, n := range votes {
-		if n > bestN {
-			best, bestN = p, n
+	bestN, bestFirst := -1, -1
+	for p, t := range votes {
+		if t.n > bestN || (t.n == bestN && t.first < bestFirst) {
+			best, bestN, bestFirst = p, t.n, t.first
 		}
 	}
 	return VideoResult{Payload: best, FramesAgreeing: bestN, FramesRead: read}, nil

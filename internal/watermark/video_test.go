@@ -109,3 +109,35 @@ func TestVideoMajorityVoting(t *testing.T) {
 		t.Errorf("agreement %d, want 6", res.FramesAgreeing)
 	}
 }
+
+func TestVideoVoteTieBreaksDeterministic(t *testing.T) {
+	// An exact vote tie (2 frames each) must resolve to the payload
+	// first read — lowest frame index — not to map iteration order.
+	cfg := DefaultConfig()
+	v := mustVideo(t, 5, 4)
+	first := payloadFromSeed(75)
+	second := payloadFromSeed(76)
+	wm, err := EmbedVideo(v, first, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 4; i++ {
+		re, err := Embed(v.Frames[i], second, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm.Frames[i] = re
+	}
+	for trial := 0; trial < 20; trial++ {
+		res, err := ExtractVideo(wm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Payload != first {
+			t.Fatalf("trial %d: tie resolved to the later payload", trial)
+		}
+		if res.FramesAgreeing != 2 || res.FramesRead != 4 {
+			t.Fatalf("trial %d: agreement %d/%d, want 2/4", trial, res.FramesAgreeing, res.FramesRead)
+		}
+	}
+}

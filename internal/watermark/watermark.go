@@ -37,6 +37,7 @@ import (
 	"errors"
 	"hash/crc32"
 	"math"
+	"sync"
 
 	"irs/internal/dct"
 	"irs/internal/parallel"
@@ -115,8 +116,11 @@ func codeword(payload [PayloadBytes]byte) [codewordBits]bool {
 }
 
 // decodeword checks the CRC of 160 hard bits and returns the payload.
-func decodeword(bits []bool) ([PayloadBytes]byte, bool) {
-	var buf [20]byte
+// The packed bytes build in buf, caller-provided because
+// crc32.Checksum's argument escapes: pooled callers pass scratch so the
+// per-candidate decode allocates nothing.
+func decodeword(buf *[20]byte, bits []bool) ([PayloadBytes]byte, bool) {
+	*buf = [20]byte{}
 	for i, b := range bits {
 		if b {
 			buf[i/8] |= 1 << (7 - uint(i%8))
@@ -125,11 +129,40 @@ func decodeword(bits []bool) ([PayloadBytes]byte, bool) {
 	var payload [PayloadBytes]byte
 	copy(payload[:], buf[:16])
 	want := uint32(buf[16])<<24 | uint32(buf[17])<<16 | uint32(buf[18])<<8 | uint32(buf[19])
-	return payload, crc32.Checksum(payload[:], castagnoli) == want
+	return payload, crc32.Checksum(buf[:16], castagnoli) == want
 }
 
 // ErrTooSmall is returned when the image cannot hold one codeword tile.
 var ErrTooSmall = errors.New("watermark: image smaller than one codeword tile")
+
+// blockScratch is one worker's pair of 8×8 DCT blocks, backed by fixed
+// arrays so the embed/extract block loops allocate nothing per chunk.
+type blockScratch struct {
+	src, coef [64]float64
+}
+
+var blockPool = sync.Pool{New: func() any { return new(blockScratch) }}
+
+// blocks returns the scratch viewed as dct Blocks (sharing the arrays).
+func (s *blockScratch) blocks() (src, coef dct.Block) {
+	return dct.Block{N: 8, Data: s.src[:]}, dct.Block{N: 8, Data: s.coef[:]}
+}
+
+// phaseScratch is the per-pixel-phase working set of the extraction
+// search: the per-block soft decisions and the collapsed vote table.
+// Extract runs 64 phase searches per call; drawing these from a pool
+// keeps the search allocation-free after warmup.
+type phaseScratch struct {
+	blockScratch
+	soft  []float64 // bw*bh, grows to the largest grid seen
+	bxmod []int     // bx % TileW, precomputed per phase
+	full  [codewordBits]float64
+	cnt   [codewordBits]int
+	hard  [codewordBits]bool
+	crc   [20]byte
+}
+
+var phasePool = sync.Pool{New: func() any { return new(phaseScratch) }}
 
 // Embed writes payload into a copy of im and returns it. The input image
 // is not modified. Metadata is carried over unchanged — Embed labels
@@ -151,18 +184,19 @@ func Embed(im *photo.Image, payload [PayloadBytes]byte, cfg Config) (*photo.Imag
 	// every block's pixels are a pure function of its input block, so
 	// output is byte-identical to the serial scan at any worker count.
 	parallel.ForChunks(bh, blockRowChunk, func(_, lo, hi int) {
-		src := dct.NewBlock(8)
-		coef := dct.NewBlock(8)
+		s := blockPool.Get().(*blockScratch)
+		src, coef := s.blocks()
 		for by := lo; by < hi; by++ {
 			for bx := 0; bx < bw; bx++ {
-				loadBlock(src, luma, im.W, bx*8, by*8)
-				dct.Forward2D(coef, src)
+				loadBlock(&src, luma, im.W, bx*8, by*8)
+				dct.Forward8(&coef, &src)
 				bit := bits[(by%cfg.TileH)*cfg.TileW+bx%cfg.TileW]
 				coef.Data[ci] = qimQuantize(coef.Data[ci], cfg.Delta, bit)
-				dct.Inverse2D(src, coef)
-				storeBlock(luma, im.W, bx*8, by*8, src)
+				dct.Inverse8(&src, &coef)
+				storeBlock(luma, im.W, bx*8, by*8, &src)
 			}
 		}
+		blockPool.Put(s)
 	})
 	out.SetLuma(luma)
 	return out, nil
@@ -275,57 +309,94 @@ type phaseCandidate struct {
 // uses the same strictly-greater comparison as the global reduction,
 // which preserves the serial scan's first-best-wins tie-breaking.
 func searchPixelPhase(luma []float64, w, px, py, bw, bh int, cfg Config) (c phaseCandidate) {
-	src := dct.NewBlock(8)
-	coef := dct.NewBlock(8)
+	s := phasePool.Get().(*phaseScratch)
+	defer phasePool.Put(s)
+	src, coef := s.blocks()
 	ci := cfg.CoefU*8 + cfg.CoefV
-	votes := make([]float64, codewordBits)
-	counts := make([]int, codewordBits)
-	hard := make([]bool, codewordBits)
 
 	// Soft values per block for this pixel phase.
-	soft := make([]float64, bw*bh)
+	if cap(s.soft) < bw*bh {
+		s.soft = make([]float64, bw*bh)
+	}
+	soft := s.soft[:bw*bh]
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
-			loadBlock(src, luma, w, px+bx*8, py+by*8)
-			dct.Forward2D(coef, src)
+			loadBlock(&src, luma, w, px+bx*8, py+by*8)
+			dct.Forward8(&coef, &src)
 			soft[by*bw+bx] = qimSoft(coef.Data[ci], cfg.Delta)
 		}
 	}
+
+	// Collapse the grid once: full[(by%TileH)*TileW + bx%TileW] sums the
+	// soft values of every block in that residue class, visiting blocks
+	// in by-major, bx-major order. For any codeword phase (cy, cx), the
+	// phase's vote for slot (r, c) is exactly the class
+	// ((r-cy) mod TileH, (c-cx) mod TileW) — the per-phase vote vectors
+	// are cyclic shifts of this one table. Each slot's contributions
+	// arrive in the same serial order as the old per-phase rescan, so
+	// every vote (and every margin downstream) is bit-identical while
+	// the sweep drops from O(phases·blocks) to O(blocks + phases²).
+	full, cnt, hard := &s.full, &s.cnt, &s.hard
+	for i := range full {
+		full[i] = 0
+		cnt[i] = 0
+	}
+	if cap(s.bxmod) < bw {
+		s.bxmod = make([]int, bw)
+	}
+	bxmod := s.bxmod[:bw]
+	for bx := range bxmod {
+		bxmod[bx] = bx % cfg.TileW
+	}
+	for by := 0; by < bh; by++ {
+		row := (by % cfg.TileH) * cfg.TileW
+		srow := soft[by*bw : (by+1)*bw]
+		for bx, v := range srow {
+			idx := row + bxmod[bx]
+			full[idx] += v
+			cnt[idx]++
+		}
+	}
+
 	c.res = Result{Margin: -1}
-	// Aggregate votes for each codeword phase.
+	// Score each codeword phase by shifting the collapsed table.
 	for cy := 0; cy < cfg.TileH; cy++ {
 		for cx := 0; cx < cfg.TileW; cx++ {
-			for i := range votes {
-				votes[i] = 0
-				counts[i] = 0
-			}
-			for by := 0; by < bh; by++ {
-				row := ((by + cy) % cfg.TileH) * cfg.TileW
-				for bx := 0; bx < bw; bx++ {
-					idx := row + (bx+cx)%cfg.TileW
-					votes[idx] += soft[by*bw+bx]
-					counts[idx]++
-				}
-			}
 			covered := true
 			var margin float64
-			for i := range votes {
-				if counts[i] == 0 {
-					covered = false
-					break
+			i := 0
+		slots:
+			for r := 0; r < cfg.TileH; r++ {
+				r0 := r - cy
+				if r0 < 0 {
+					r0 += cfg.TileH
 				}
-				hard[i] = votes[i] > 0
-				m := votes[i] / float64(counts[i])
-				if m < 0 {
-					m = -m
+				base0 := r0 * cfg.TileW
+				for col := 0; col < cfg.TileW; col++ {
+					c0 := col - cx
+					if c0 < 0 {
+						c0 += cfg.TileW
+					}
+					n := cnt[base0+c0]
+					if n == 0 {
+						covered = false
+						break slots
+					}
+					v := full[base0+c0]
+					hard[i] = v > 0
+					m := v / float64(n)
+					if m < 0 {
+						m = -m
+					}
+					margin += m
+					i++
 				}
-				margin += m
 			}
 			if !covered {
 				continue
 			}
 			margin /= codewordBits
-			payload, ok := decodeword(hard)
+			payload, ok := decodeword(&s.crc, hard[:])
 			if ok && margin > c.res.Margin {
 				c.res = Result{
 					Payload:     payload,
@@ -358,26 +429,28 @@ func ExtractAligned(im *photo.Image, cfg Config) (Result, error) {
 	// worker count or schedule.
 	soft := make([]float64, bw*bh)
 	parallel.ForChunks(bh, blockRowChunk, func(_, lo, hi int) {
-		src := dct.NewBlock(8)
-		coef := dct.NewBlock(8)
+		s := blockPool.Get().(*blockScratch)
+		src, coef := s.blocks()
 		for by := lo; by < hi; by++ {
 			for bx := 0; bx < bw; bx++ {
-				loadBlock(src, luma, im.W, bx*8, by*8)
-				dct.Forward2D(coef, src)
+				loadBlock(&src, luma, im.W, bx*8, by*8)
+				dct.Forward8(&coef, &src)
 				soft[by*bw+bx] = qimSoft(coef.Data[ci], cfg.Delta)
 			}
 		}
+		blockPool.Put(s)
 	})
-	votes := make([]float64, codewordBits)
-	counts := make([]int, codewordBits)
+	var votes [codewordBits]float64
+	var counts [codewordBits]int
 	for by := 0; by < bh; by++ {
+		row := (by % cfg.TileH) * cfg.TileW
 		for bx := 0; bx < bw; bx++ {
-			idx := (by%cfg.TileH)*cfg.TileW + bx%cfg.TileW
+			idx := row + bx%cfg.TileW
 			votes[idx] += soft[by*bw+bx]
 			counts[idx]++
 		}
 	}
-	hard := make([]bool, codewordBits)
+	var hard [codewordBits]bool
 	var margin float64
 	for i := range votes {
 		if counts[i] == 0 {
@@ -390,7 +463,8 @@ func ExtractAligned(im *photo.Image, cfg Config) (Result, error) {
 		}
 		margin += m
 	}
-	payload, ok := decodeword(hard)
+	var crc [20]byte
+	payload, ok := decodeword(&crc, hard[:])
 	if !ok {
 		return Result{}, ErrNotFound
 	}
@@ -409,19 +483,20 @@ func Erase(im *photo.Image, cfg Config, seed int64) (*photo.Image, error) {
 	}
 	out := im.Clone()
 	luma := im.Luma()
-	src := dct.NewBlock(8)
-	coef := dct.NewBlock(8)
+	s := blockPool.Get().(*blockScratch)
+	defer blockPool.Put(s)
+	src, coef := s.blocks()
 	ci := cfg.CoefU*8 + cfg.CoefV
 	state := uint64(seed)*2862933555777941757 + 3037000493
 	bw, bh := im.W/8, im.H/8
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
-			loadBlock(src, luma, im.W, bx*8, by*8)
-			dct.Forward2D(coef, src)
+			loadBlock(&src, luma, im.W, bx*8, by*8)
+			dct.Forward8(&coef, &src)
 			state = state*6364136223846793005 + 1442695040888963407
 			coef.Data[ci] = qimQuantize(coef.Data[ci], cfg.Delta, state>>63 == 1)
-			dct.Inverse2D(src, coef)
-			storeBlock(luma, im.W, bx*8, by*8, src)
+			dct.Inverse8(&src, &coef)
+			storeBlock(luma, im.W, bx*8, by*8, &src)
 		}
 	}
 	out.SetLuma(luma)

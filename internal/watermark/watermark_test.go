@@ -36,7 +36,8 @@ func TestConfigValidate(t *testing.T) {
 func TestCodewordRoundTrip(t *testing.T) {
 	p := payloadFromSeed(1)
 	bits := codeword(p)
-	got, ok := decodeword(bits[:])
+	var crcbuf [20]byte
+	got, ok := decodeword(&crcbuf, bits[:])
 	if !ok {
 		t.Fatal("CRC rejected clean codeword")
 	}
@@ -48,9 +49,10 @@ func TestCodewordRoundTrip(t *testing.T) {
 func TestCodewordDetectsFlips(t *testing.T) {
 	p := payloadFromSeed(2)
 	bits := codeword(p)
+	var crcbuf [20]byte
 	for i := 0; i < codewordBits; i++ {
 		bits[i] = !bits[i]
-		if got, ok := decodeword(bits[:]); ok && got == p {
+		if got, ok := decodeword(&crcbuf, bits[:]); ok && got == p {
 			t.Errorf("single flip at %d undetected", i)
 		}
 		bits[i] = !bits[i]
@@ -363,7 +365,8 @@ func TestQuickQIMConsistency(t *testing.T) {
 func TestQuickCodewordRoundTrip(t *testing.T) {
 	f := func(p [PayloadBytes]byte) bool {
 		bits := codeword(p)
-		got, ok := decodeword(bits[:])
+		var crcbuf [20]byte
+		got, ok := decodeword(&crcbuf, bits[:])
 		return ok && got == p
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -27,6 +27,11 @@ go test -race -run 'Faulty|Retry|Breaker|Degrade|FailOpen|FailClosed|WAL|Directo
 go test -race -run 'IndexConcurrentUploadLookupTakeDown|IndexedLinearDifferential|LookupHashFirstMatch|ClearsHashDB' \
     ./internal/aggregator
 
+# Upload pipeline: ordered-commit determinism against the serial path,
+# cancellation drain, and poisoned-item isolation, named under -race.
+go test -race -run 'PipelineDecisionsMatchSerial|PipelineCancellationDrains|PipelinePoisonedItem|VideoUploadWorkerInvariance|ServerBatchUpload' \
+    ./internal/aggregator
+
 # Observability layer: the metrics-conservation invariant end to end,
 # the chaos obs determinism replay, and the obs package's own suite,
 # all under the race detector.
@@ -57,6 +62,29 @@ go run ./cmd/irs-bench -chaos -chaos-out /tmp/irs_chaos_smoke.json \
 go test -run='^$' -bench=BenchmarkLookup -benchtime=1x .
 go run ./cmd/irs-bench -lookup -lookup-out /tmp/irs_lookup_smoke.json \
     -lookup-sizes 4000,20000 -lookup-workers 1,4 -lookup-probes 300
+
+# Upload-ingest smoke: a tiny batch×workers sweep; the harness exits
+# nonzero if the pipeline's decision sequence diverges from serial at
+# any worker count. The committed artifact is BENCH_upload.json.
+go run ./cmd/irs-bench -upload -upload-out /tmp/irs_upload_smoke.json \
+    -upload-batches 24 -upload-workers 1,4
+
+# Kernel-regression guard: the vectorized 8×8 DCT and the three
+# perceptual hashes must stay allocation-free on their hot paths; any
+# allocs/op > 0 here means a scratch pool or unrolled loop regressed.
+for pkg_bench in "./internal/dct BenchmarkDCT8x8" "./internal/phash BenchmarkPHash$"; do
+    pkg=${pkg_bench% *}
+    bench=${pkg_bench#* }
+    out=$(go test -run='^$' -bench="$bench" -benchtime=10x -benchmem "$pkg")
+    echo "$out" | grep Benchmark
+    if echo "$out" | grep Benchmark | awk '{for (i=1;i<=NF;i++) if ($i=="allocs/op" && $(i-1)+0>0) exit 1}'; then :; else
+        echo "check.sh: kernel benchmark $bench in $pkg allocates" >&2
+        exit 1
+    fi
+done
+
+# Bounds-check-elimination guard for the unrolled kernels.
+sh scripts/check_bce.sh
 
 # Observability overhead gate: the harness itself fails when the
 # instrumented arm's min-of-reps p99 lands more than 5% above the bare
