@@ -268,6 +268,9 @@ func (a *Aggregator) Upload(im *photo.Image) (UploadResult, error) {
 	a.mu.Unlock()
 	p := prep{im: im}
 	a.prepare(&p, nil)
+	if p.wantStatus {
+		a.fetchStatus(&p, 0, nil)
+	}
 	return a.commit(&p)
 }
 

@@ -11,7 +11,16 @@
 //
 // UploadStream therefore runs a bounded stage graph:
 //
-//	feeder → [W compute workers] → single ordered committer → results
+//	feeder → [W compute workers] → [S status workers] → ordered committer
+//
+// The status fetch gets its own worker pool because it is the one stage
+// whose latency the aggregator does not control: it crosses the network
+// to a ledger. Keeping it inside the compute workers would let one
+// slow or fault-injected ledger stall decode/hash work for unrelated
+// items; in its own stage, at most S fetches wait on the ledger while
+// compute continues, and each fetch can carry a deadline that converts
+// a hung ledger into a DenyLedgerUnreachable decision instead of a
+// stalled stream.
 //
 // Every channel is bounded, so a slow committer backpressures the
 // workers and a slow consumer backpressures the feeder; memory in
@@ -65,6 +74,15 @@ type PipelineConfig struct {
 	Workers int
 	// Depth is the per-stage channel capacity; <= 0 means 2×Workers.
 	Depth int
+	// StatusWorkers bounds the concurrent read-only ledger status
+	// fetches; <= 0 means Workers. The status stage is separate from
+	// compute, so a slow ledger stalls at most StatusWorkers fetches,
+	// never the decode/hash workers.
+	StatusWorkers int
+	// StatusTimeout is the per-fetch deadline; a status fetch that
+	// misses it commits as DenyLedgerUnreachable. <= 0 means no
+	// deadline.
+	StatusTimeout time.Duration
 	// Obs, when non-nil, interns the irs_upload_* pipeline series
 	// (per-stage latency histograms and queue-depth gauges) there.
 	Obs *obs.Registry
@@ -88,6 +106,7 @@ type prep struct {
 	sig          phash.Signature
 
 	// Prefetched read-only ledger status (labeled uploads only).
+	wantStatus bool
 	statusDone bool
 	proof      *ledger.StatusProof
 	statusErr  error
@@ -206,15 +225,50 @@ func (a *Aggregator) prepare(p *prep, po *pipeObs) {
 	p.sig = phash.NewSignature(p.im)
 	p.sigDone = true
 	po.observe(stageHash, start)
+	p.wantStatus = true
+}
 
-	start = time.Now()
-	if svc, err := a.dir.For(p.metaID); err != nil {
+// ErrStatusTimeout marks a status prefetch that missed its per-fetch
+// deadline; the committer maps it to DenyLedgerUnreachable.
+var ErrStatusTimeout = errors.New("aggregator: ledger status fetch timed out")
+
+// fetchStatus runs the read-only status prefetch for one prepared item,
+// bounded by timeout when one is set. The underlying Service call has
+// no cancellation surface, so a timed-out call is abandoned to finish
+// on its own goroutine; the item itself commits promptly as
+// DenyLedgerUnreachable.
+func (a *Aggregator) fetchStatus(p *prep, timeout time.Duration, po *pipeObs) {
+	start := time.Now()
+	defer func() {
+		p.statusDone = true
+		po.observe(stageStatus, start)
+	}()
+	svc, err := a.dir.For(p.metaID)
+	if err != nil {
 		p.statusErr = err
-	} else {
-		p.proof, p.statusErr = svc.Status(p.metaID)
+		return
 	}
-	p.statusDone = true
-	po.observe(stageStatus, start)
+	if timeout <= 0 {
+		p.proof, p.statusErr = svc.Status(p.metaID)
+		return
+	}
+	type statusRes struct {
+		proof *ledger.StatusProof
+		err   error
+	}
+	ch := make(chan statusRes, 1)
+	go func() {
+		proof, err := svc.Status(p.metaID)
+		ch <- statusRes{proof, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		p.proof, p.statusErr = r.proof, r.err
+	case <-timer.C:
+		p.statusErr = ErrStatusTimeout
+	}
 }
 
 // commit runs the stateful half: the decision switch, the derivative
@@ -290,9 +344,14 @@ func (a *Aggregator) UploadStream(ctx context.Context, in <-chan UploadItem, cfg
 	if depth <= 0 {
 		depth = 2 * workers
 	}
+	statusWorkers := cfg.StatusWorkers
+	if statusWorkers <= 0 {
+		statusWorkers = workers
+	}
 	po := newPipeObs(cfg.Obs)
 
 	work := make(chan *prep, depth)
+	statusCh := make(chan *prep, depth)
 	done := make(chan *prep, depth)
 	out := make(chan StreamResult, depth)
 
@@ -323,30 +382,53 @@ func (a *Aggregator) UploadStream(ctx context.Context, in <-chan UploadItem, cfg
 		}
 	}()
 
-	// Compute workers: the stateless stages, concurrently. Delivery to
-	// the committer is unconditional — the committer drains done until
-	// it closes, so this send always completes.
-	var wg sync.WaitGroup
+	// Compute workers: the stateless CPU-bound stages, concurrently.
+	var wgCompute sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		wgCompute.Add(1)
 		go func() {
-			defer wg.Done()
+			defer wgCompute.Done()
 			for p := range work {
 				a.prepare(p, po)
+				statusCh <- p
+			}
+		}()
+	}
+	go func() {
+		wgCompute.Wait()
+		close(statusCh)
+	}()
+
+	// Status workers: the network-bound status prefetch, in its own
+	// bounded pool so ledger latency never occupies a compute slot.
+	// Items that need no status (deny-before-status, unlabeled, decode
+	// errors) pass straight through. Delivery to the committer is
+	// unconditional — the committer drains done until it closes, so
+	// this send always completes.
+	var wgStatus sync.WaitGroup
+	for s := 0; s < statusWorkers; s++ {
+		wgStatus.Add(1)
+		go func() {
+			defer wgStatus.Done()
+			for p := range statusCh {
+				if p.wantStatus {
+					a.fetchStatus(p, cfg.StatusTimeout, po)
+				}
 				done <- p
 				po.depth(queueDone, len(done))
 			}
 		}()
 	}
 	go func() {
-		wg.Wait()
+		wgStatus.Wait()
 		close(done)
 	}()
 
 	// Ordered committer: reorder by index, then run the stateful stage
-	// and emit. The buffer is bounded by depth+workers: once done's
-	// capacity and every worker are holding out-of-order items, the
-	// workers stall until the missing index arrives.
+	// and emit. The buffer is bounded by the stage capacities plus the
+	// worker counts: once the channels and every worker are holding
+	// out-of-order items, the workers stall until the missing index
+	// arrives.
 	go func() {
 		defer close(out)
 		pending := make(map[int]*prep)

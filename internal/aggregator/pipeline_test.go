@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"irs/internal/camera"
 	"irs/internal/ids"
+	"irs/internal/ledger"
+	"irs/internal/netsim"
 	"irs/internal/obs"
 	"irs/internal/parallel"
 	"irs/internal/phash"
@@ -339,6 +342,205 @@ func TestVideoUploadWorkerInvariance(t *testing.T) {
 				t.Errorf("workers %d: frame %d signature not indexed (found=%v id=%v)",
 					workers, i, found, id)
 			}
+		}
+	}
+}
+
+// statusHook overrides only the Status call of an underlying Service —
+// the seam the status-stage tests use to inject latency and faults.
+type statusHook struct {
+	wire.Service
+	fn func(ids.PhotoID) (*ledger.StatusProof, error)
+}
+
+func (s *statusHook) Status(id ids.PhotoID) (*ledger.StatusProof, error) { return s.fn(id) }
+
+// TestPipelineStatusFaultParity replays one corpus against a ledger
+// whose status endpoint fails per netsim.Faulty fate draws. Fates are
+// pre-drawn in issue order and keyed per claim ID, so the serial path
+// and the pipeline — at any (worker, status-worker) shape — observe the
+// same fault for the same item and must reach identical decisions,
+// including DenyLedgerUnreachable for every lost status fetch.
+func TestPipelineStatusFaultParity(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+
+	const n = 12
+	items := make([]UploadItem, 0, n)
+	itemIDs := make([]ids.PhotoID, 0, n)
+	for i := 0; i < n; i++ {
+		labeled, owned, err := r.cam.ClaimAndLabel(r.cam.Shoot(1000+int64(i), 192, 128))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 4 {
+			if err := r.cam.Revoke(owned.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		items = append(items, UploadItem{Image: labeled})
+		itemIDs = append(itemIDs, owned.ID)
+	}
+
+	// Pre-draw one fate per item on a simulated faulty link. The draws
+	// happen in issue order on the sim — deterministic for a seed — and
+	// are then keyed by claim ID so real-time call order cannot reshuffle
+	// which item they land on.
+	sched := netsim.NewScheduler(1)
+	faulty, err := netsim.NewFaulty(netsim.NewLink(sched, netsim.Fixed(time.Millisecond), 0),
+		netsim.FaultConfig{Seed: 17, LossProb: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fates := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		faulty.Request(func(err error) { fates[i] = err })
+	}
+	sched.Run()
+	var lost int
+	fateFor := make(map[ids.PhotoID]error, n)
+	for i, id := range itemIDs {
+		fateFor[id] = fates[i]
+		if fates[i] != nil {
+			lost++
+		}
+	}
+	if lost == 0 || lost == n {
+		t.Fatalf("fate draw degenerate: %d/%d lost; pick a new seed", lost, n)
+	}
+
+	real, err := r.dir.ForLedger(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dir.Register(1, &statusHook{Service: real, fn: func(id ids.PhotoID) (*ledger.StatusProof, error) {
+		if ferr := fateFor[id]; ferr != nil {
+			return nil, ferr
+		}
+		return real.Status(id)
+	}})
+
+	serial := make([]decision, n)
+	for i, it := range items {
+		res, err := r.agg.Upload(it.Image)
+		serial[i] = toDecision(res, err)
+	}
+	for i := range serial {
+		want := DenyReason(0)
+		if fateFor[itemIDs[i]] != nil {
+			want = DenyLedgerUnreachable
+		} else if i%5 == 4 {
+			want = DenyRevoked
+		}
+		if fateFor[itemIDs[i]] == nil && i%5 != 4 {
+			if !serial[i].accepted {
+				t.Fatalf("serial item %d: not accepted: %+v", i, serial[i])
+			}
+		} else if serial[i].reason != want {
+			t.Fatalf("serial item %d: reason %v, want %v", i, serial[i].reason, want)
+		}
+	}
+
+	for _, shape := range []PipelineConfig{
+		{Workers: 1, StatusWorkers: 4},
+		{Workers: 4, StatusWorkers: 1},
+		{Workers: 4, StatusWorkers: 4},
+	} {
+		agg := freshAgg(t, r, RejectUnlabeled)
+		results := agg.UploadAll(context.Background(), items, shape)
+		for i, res := range results {
+			if got := toDecision(res.Result, res.Err); got != serial[i] {
+				t.Errorf("shape %+v item %d: pipeline %+v, serial %+v", shape, i, got, serial[i])
+			}
+		}
+	}
+}
+
+// TestPipelineStatusStageConcurrency proves status fetches run outside
+// the compute workers: with one compute worker and K status workers, K
+// fetches must be in flight at once — a barrier in the hooked Status
+// only opens when all K have arrived, so a pipeline that serialized
+// status (the old design) would stall until the per-call guard fails.
+func TestPipelineStatusStageConcurrency(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	const k = 4
+	items := make([]UploadItem, k)
+	for i := range items {
+		labeled, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(1100+int64(i), 192, 128))
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = UploadItem{Image: labeled}
+	}
+
+	real, err := r.dir.ForLedger(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	inflight := 0
+	release := make(chan struct{})
+	r.dir.Register(1, &statusHook{Service: real, fn: func(id ids.PhotoID) (*ledger.StatusProof, error) {
+		mu.Lock()
+		inflight++
+		if inflight == k {
+			close(release)
+		}
+		mu.Unlock()
+		select {
+		case <-release:
+		case <-time.After(20 * time.Second):
+			return nil, errors.New("status never reached k-way concurrency")
+		}
+		return real.Status(id)
+	}})
+
+	results := r.agg.UploadAll(context.Background(), items,
+		PipelineConfig{Workers: 1, StatusWorkers: k, Depth: k})
+	for i, res := range results {
+		if res.Err != nil || !res.Result.Accepted {
+			t.Fatalf("item %d: %+v err=%v (status stage did not run %d-wide)", i, res.Result, res.Err, k)
+		}
+	}
+}
+
+// TestPipelineStatusDeadline: a hung ledger must cost one status
+// worker for the timeout, not the stream — each affected item commits
+// as DenyLedgerUnreachable and the stream still drains promptly.
+func TestPipelineStatusDeadline(t *testing.T) {
+	r := newRig(t, RejectUnlabeled, nil)
+	items := make([]UploadItem, 3)
+	for i := range items {
+		labeled, _, err := r.cam.ClaimAndLabel(r.cam.Shoot(1200+int64(i), 192, 128))
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = UploadItem{Image: labeled}
+	}
+
+	real, err := r.dir.ForLedger(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hang := make(chan struct{})
+	t.Cleanup(func() { close(hang) })
+	r.dir.Register(1, &statusHook{Service: real, fn: func(id ids.PhotoID) (*ledger.StatusProof, error) {
+		<-hang
+		return nil, errors.New("unreachable")
+	}})
+
+	start := time.Now()
+	results := r.agg.UploadAll(context.Background(), items,
+		PipelineConfig{Workers: 2, StatusWorkers: 2, StatusTimeout: 100 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("hung ledger stalled the stream for %v", elapsed)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("item %d: err %v", i, res.Err)
+		}
+		if res.Result.Accepted || res.Result.Reason != DenyLedgerUnreachable {
+			t.Fatalf("item %d: %+v, want DenyLedgerUnreachable", i, res.Result)
 		}
 	}
 }

@@ -21,8 +21,19 @@ import (
 
 const snapshotFile = "snapshot.json"
 
-// Compact persists a state snapshot and truncates the WAL. It is a
-// no-op for in-memory ledgers.
+// Compact folds log state into its compact on-disk form: a whole-state
+// snapshot for the JSON engine, a memtable flush plus full segment
+// merge for the segment engine (where the expensive part runs without
+// blocking appends; see engine.go). It is a no-op for in-memory
+// ledgers.
+func (l *Ledger) Compact() error {
+	if l.store == nil {
+		return nil
+	}
+	return l.store.compact(l)
+}
+
+// compactJSON is the legacy engine's compaction.
 //
 // Every shard is read-locked in index order for the duration, freezing
 // all mutation (mutators append to the WAL under their shard's write
@@ -30,10 +41,7 @@ const snapshotFile = "snapshot.json"
 // state. Entries are sorted by identifier bytes, making snapshot.json
 // byte-stable at any shard count — the old single-map code serialized
 // Go's arbitrary map order.
-func (l *Ledger) Compact() error {
-	if l.wal == nil {
-		return nil
-	}
+func (l *Ledger) compactJSON(w *wal) error {
 	unlock := l.lockAllShards()
 	defer unlock()
 
@@ -54,7 +62,7 @@ func (l *Ledger) Compact() error {
 		}
 	}
 	sort.Slice(entries, func(a, b int) bool { return entries[a].ID < entries[b].ID })
-	dir := filepath.Dir(l.wal.path)
+	dir := filepath.Dir(w.path)
 	tmp := filepath.Join(dir, snapshotFile+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -79,8 +87,15 @@ func (l *Ledger) Compact() error {
 		os.Remove(tmp)
 		return fmt.Errorf("ledger: publishing snapshot: %w", err)
 	}
+	// Make the rename itself durable before destroying the WAL: without
+	// the directory fsync a crash here could surface the old directory
+	// entry (no snapshot) next to the already-truncated log, losing
+	// every record the snapshot was about to cover.
+	if err := syncDir(dir); err != nil {
+		return err
+	}
 	// The snapshot now covers everything; empty the log.
-	if err := l.wal.truncateAll(); err != nil {
+	if err := w.truncateAll(); err != nil {
 		return err
 	}
 	return nil
@@ -127,17 +142,8 @@ func loadSnapshot(dir string, l *Ledger) error {
 // WALSize reports the current log size in bytes, for compaction
 // scheduling and tests.
 func (l *Ledger) WALSize() (int64, error) {
-	if l.wal == nil {
+	if l.store == nil {
 		return 0, nil
 	}
-	l.wal.mu.Lock()
-	defer l.wal.mu.Unlock()
-	if err := l.wal.w.Flush(); err != nil {
-		return 0, err
-	}
-	st, err := l.wal.f.Stat()
-	if err != nil {
-		return 0, err
-	}
-	return st.Size(), nil
+	return l.store.walSize()
 }

@@ -8,7 +8,7 @@ import (
 
 func TestCompactShrinksWAL(t *testing.T) {
 	dir := t.TempDir()
-	l, err := New(Config{ID: 9, Dir: dir})
+	l, err := New(Config{ID: 9, Dir: dir, Engine: EngineJSON})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -151,6 +153,18 @@ type Config struct {
 	// in (series irs_ledger_*_total{ledger=...}); nil means a private
 	// registry, which keeps Metrics() working at identical cost.
 	Obs *obs.Registry
+	// Engine selects the persistence engine for Dir; EngineAuto (zero)
+	// inspects the directory and defaults fresh ones to EngineSegments.
+	Engine Engine
+	// WALSync selects the segment engine's append durability; the zero
+	// value, WALSyncOS, matches the legacy engine (periodic Sync).
+	WALSync WALSyncMode
+	// MemtableRecords is the segment engine's flush threshold; zero
+	// means 65536.
+	MemtableRecords int
+	// CompactAfter is how many live segments trigger a background
+	// merge; zero means 8.
+	CompactAfter int
 }
 
 // Ledger is a single ledger instance. Safe for concurrent use.
@@ -170,7 +184,7 @@ type Ledger struct {
 	signPub ed25519.PublicKey
 	signKey ed25519.PrivateKey
 
-	wal *wal
+	store storage
 
 	// Filter snapshot state, guarded by snapMu (independent of the
 	// record shards).
@@ -240,23 +254,70 @@ func New(cfg Config) (*Ledger, error) {
 		maxHistory: hist,
 	}
 	if cfg.Dir != "" {
-		w, err := openWAL(cfg.Dir)
+		engine, err := resolveEngine(cfg)
 		if err != nil {
 			return nil, err
 		}
-		// Recovery order: compacted snapshot first (if any), then the
-		// operations logged since it was taken.
-		if err := loadSnapshot(cfg.Dir, l); err != nil {
-			w.close()
-			return nil, err
+		switch engine {
+		case EngineJSON:
+			w, err := openWAL(cfg.Dir)
+			if err != nil {
+				return nil, err
+			}
+			// Recovery order: compacted snapshot first (if any), then
+			// the operations logged since it was taken.
+			if err := loadSnapshot(cfg.Dir, l); err != nil {
+				w.close()
+				return nil, err
+			}
+			if err := w.replay(l); err != nil {
+				w.close()
+				return nil, err
+			}
+			l.store = &jsonStore{w: w}
+		case EngineSegments:
+			if _, err := openSegEngine(l, cfg); err != nil {
+				l.store = nil
+				return nil, err
+			}
 		}
-		if err := w.replay(l); err != nil {
-			w.close()
-			return nil, err
-		}
-		l.wal = w
 	}
 	return l, nil
+}
+
+// resolveEngine maps Config.Engine onto a concrete engine, refusing
+// combinations that would silently ignore existing state.
+func resolveEngine(cfg Config) (Engine, error) {
+	hasManifest := fileExists(filepath.Join(cfg.Dir, manifestFile))
+	hasLegacy := fileExists(filepath.Join(cfg.Dir, "wal.log")) ||
+		fileExists(filepath.Join(cfg.Dir, snapshotFile))
+	switch cfg.Engine {
+	case EngineJSON:
+		if hasManifest {
+			return 0, fmt.Errorf("ledger: %s holds segment-engine state; open with EngineSegments", cfg.Dir)
+		}
+		return EngineJSON, nil
+	case EngineSegments:
+		if hasLegacy {
+			return 0, fmt.Errorf("ledger: %s holds JSON-engine state; open with EngineJSON", cfg.Dir)
+		}
+		return EngineSegments, nil
+	case EngineAuto:
+		if hasManifest && hasLegacy {
+			return 0, fmt.Errorf("ledger: %s holds both JSON and segment engine state", cfg.Dir)
+		}
+		if hasLegacy {
+			return EngineJSON, nil
+		}
+		return EngineSegments, nil
+	default:
+		return 0, fmt.Errorf("ledger: unknown engine %d", cfg.Engine)
+	}
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // ID returns the ledger identifier.
@@ -364,10 +425,10 @@ func (l *Ledger) claim(contentHash [32]byte, pub ed25519.PublicKey, hashSig []by
 		sh.revoked[id] = true
 	}
 	l.metrics.claims.Inc()
-	if l.wal != nil {
+	if l.store != nil {
 		// Logged under the shard lock so a concurrent op on this claim
 		// cannot reach the WAL before the claim entry it depends on.
-		if err := l.wal.logClaim(rec); err != nil {
+		if err := l.store.logClaim(rec); err != nil {
 			delete(sh.records, id)
 			delete(sh.revoked, id)
 			return Receipt{}, err
@@ -395,19 +456,9 @@ func (l *Ledger) Apply(id ids.PhotoID, op Op, sig []byte) error {
 	}
 	sh := l.shardFor(id)
 
-	sh.mu.RLock()
-	rec, ok := sh.records[id]
-	var pub ed25519.PublicKey
-	var seq uint64
-	var state State
-	if ok {
-		pub = rec.PubKey // immutable after claim; safe to share
-		seq = rec.OpSeq
-		state = rec.State
-	}
-	sh.mu.RUnlock()
-	if !ok {
-		return ErrNotFound
+	rec, pub, seq, state, err := l.loadForOp(sh, id)
+	if err != nil {
+		return err
 	}
 	if state == StatePermanentlyRevoked {
 		return ErrPermanent
@@ -432,6 +483,14 @@ func (l *Ledger) Apply(id ids.PhotoID, op Op, sig []byte) error {
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	// A memtable flush may have evicted the record (or a concurrent op
+	// re-materialized its own copy) between verification and here; the
+	// map entry, re-pinned, is the authoritative version.
+	if cur, inMap := sh.records[id]; inMap {
+		rec = cur
+	} else {
+		sh.records[id] = rec
+	}
 	if rec.State == StatePermanentlyRevoked {
 		return ErrPermanent
 	}
@@ -451,8 +510,8 @@ func (l *Ledger) Apply(id ids.PhotoID, op Op, sig []byte) error {
 	}
 	rec.OpSeq = next
 	l.metrics.ops.Inc()
-	if l.wal != nil {
-		if err := l.wal.logOp(id, op, next); err != nil {
+	if l.store != nil {
+		if err := l.store.logOp(id, op, next); err != nil {
 			rec.State = prev
 			rec.OpSeq = next - 1
 			if prev == StateRevoked {
@@ -464,6 +523,41 @@ func (l *Ledger) Apply(id ids.PhotoID, op Op, sig []byte) error {
 		}
 	}
 	return nil
+}
+
+// loadForOp reads the fields Apply verifies against, materializing the
+// record from persistent storage when a memtable flush has evicted it.
+// The returned pub slice is immutable after claim and safe to share.
+func (l *Ledger) loadForOp(sh *shard, id ids.PhotoID) (rec *Record, pub ed25519.PublicKey, seq uint64, state State, err error) {
+	sh.mu.RLock()
+	rec, ok := sh.records[id]
+	if ok {
+		pub, seq, state = rec.PubKey, rec.OpSeq, rec.State
+	}
+	sh.mu.RUnlock()
+	if ok {
+		return rec, pub, seq, state, nil
+	}
+	if l.store == nil {
+		return nil, nil, 0, 0, ErrNotFound
+	}
+	srec, found, err := l.store.lookup(id)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if !found {
+		return nil, nil, 0, 0, ErrNotFound
+	}
+	sh.mu.Lock()
+	if cur, ok := sh.records[id]; ok {
+		rec = cur // a concurrent op materialized first; use its copy
+	} else {
+		sh.records[id] = srec
+		rec = srec
+	}
+	pub, seq, state = rec.PubKey, rec.OpSeq, rec.State
+	sh.mu.Unlock()
+	return rec, pub, seq, state, nil
 }
 
 // PermanentRevoke marks a claim permanently revoked. Only the appeals
@@ -480,14 +574,24 @@ func (l *Ledger) PermanentRevoke(id ids.PhotoID) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	rec, ok := sh.records[id]
+	if !ok && l.store != nil {
+		srec, found, err := l.store.lookup(id)
+		if err != nil {
+			return err
+		}
+		if found {
+			sh.records[id] = srec
+			rec, ok = srec, true
+		}
+	}
 	if !ok {
 		return ErrNotFound
 	}
 	prev := rec.State
 	rec.State = StatePermanentlyRevoked
 	sh.revoked[id] = true
-	if l.wal != nil {
-		if err := l.wal.logPermanent(id); err != nil {
+	if l.store != nil {
+		if err := l.store.logPermanent(id); err != nil {
 			rec.State = prev
 			if prev != StateRevoked && prev != StatePermanentlyRevoked {
 				delete(sh.revoked, id)
@@ -511,6 +615,15 @@ func (l *Ledger) Status(id ids.PhotoID) (*StatusProof, error) {
 		st = rec.State
 	}
 	sh.mu.RUnlock()
+	if !ok && l.store != nil {
+		srec, found, err := l.store.lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			st = srec.State
+		}
+	}
 	l.metrics.queries.Inc()
 	return l.signStatus(id, st), nil
 }
@@ -547,6 +660,7 @@ func (l *Ledger) StatusBatch(batch []ids.PhotoID) ([]*StatusProof, error) {
 		fill[s]++
 	}
 	states := make([]State, n)
+	var misses []int
 	for s := range l.shards {
 		lo, hi := offsets[s], offsets[s+1]
 		if lo == hi {
@@ -557,9 +671,22 @@ func (l *Ledger) StatusBatch(batch []ids.PhotoID) ([]*StatusProof, error) {
 		for _, i := range grouped[lo:hi] {
 			if rec, ok := sh.records[batch[i]]; ok {
 				states[i] = rec.State
+			} else if l.store != nil {
+				misses = append(misses, i)
 			}
 		}
 		sh.mu.RUnlock()
+	}
+	// Memtable misses fall through to the storage engine (segment point
+	// lookups); unknown identifiers stay StateUnknown.
+	for _, i := range misses {
+		srec, found, err := l.store.lookup(batch[i])
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			states[i] = srec.State
+		}
 	}
 	l.metrics.queries.Add(uint64(n))
 	at := l.clock().UTC()
@@ -575,18 +702,33 @@ func (l *Ledger) StatusBatch(batch []ids.PhotoID) ([]*StatusProof, error) {
 func (l *Ledger) Record(id ids.PhotoID) (Record, error) {
 	sh := l.shardFor(id)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	rec, ok := sh.records[id]
-	if !ok {
-		return Record{}, ErrNotFound
+	var cp Record
+	if ok {
+		cp = *rec
+		cp.PubKey = append(ed25519.PublicKey(nil), rec.PubKey...)
+		cp.HashSig = append([]byte(nil), rec.HashSig...)
 	}
-	cp := *rec
-	cp.PubKey = append(ed25519.PublicKey(nil), rec.PubKey...)
-	cp.HashSig = append([]byte(nil), rec.HashSig...)
-	return cp, nil
+	sh.mu.RUnlock()
+	if ok {
+		return cp, nil
+	}
+	if l.store != nil {
+		srec, found, err := l.store.lookup(id)
+		if err != nil {
+			return Record{}, err
+		}
+		if found {
+			return *srec, nil // already a private copy
+		}
+	}
+	return Record{}, ErrNotFound
 }
 
-// Count returns total claims and currently revoked claims.
+// Count returns total claims and currently revoked claims. The revoked
+// sets are always fully resident; under the segment engine the claim
+// total comes from the engine's exact counter, because the shard maps
+// hold only the memtable.
 func (l *Ledger) Count() (claims, revoked int) {
 	for i := range l.shards {
 		sh := &l.shards[i]
@@ -595,13 +737,18 @@ func (l *Ledger) Count() (claims, revoked int) {
 		revoked += len(sh.revoked)
 		sh.mu.RUnlock()
 	}
+	if l.store != nil {
+		if c, exact := l.store.claims(); exact {
+			claims = int(c)
+		}
+	}
 	return claims, revoked
 }
 
 // Close releases persistence resources.
 func (l *Ledger) Close() error {
-	if l.wal != nil {
-		return l.wal.close()
+	if l.store != nil {
+		return l.store.close()
 	}
 	return nil
 }

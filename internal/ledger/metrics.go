@@ -16,14 +16,30 @@ type metrics struct {
 	claims  *obs.Counter
 	ops     *obs.Counter
 	queries *obs.Counter
+
+	// Storage-engine instruments. walSyncs/walRecords are mirrored from
+	// the group-commit WAL's internal atomics at sync/flush/stats time
+	// rather than on every append.
+	walSyncs    *obs.Counter
+	walRecords  *obs.Counter
+	flushes     *obs.Counter
+	compactions *obs.Counter
+	segments    *obs.Gauge
+	memtable    *obs.Gauge
 }
 
 func newMetrics(reg *obs.Registry, id ids.LedgerID) metrics {
 	l := obs.L("ledger", strconv.FormatUint(uint64(id), 10))
 	return metrics{
-		claims:  reg.Counter("irs_ledger_claims_total", l),
-		ops:     reg.Counter("irs_ledger_ops_total", l),
-		queries: reg.Counter("irs_ledger_queries_total", l),
+		claims:      reg.Counter("irs_ledger_claims_total", l),
+		ops:         reg.Counter("irs_ledger_ops_total", l),
+		queries:     reg.Counter("irs_ledger_queries_total", l),
+		walSyncs:    reg.Counter("irs_ledger_wal_syncs_total", l),
+		walRecords:  reg.Counter("irs_ledger_wal_records_total", l),
+		flushes:     reg.Counter("irs_ledger_flushes_total", l),
+		compactions: reg.Counter("irs_ledger_compactions_total", l),
+		segments:    reg.Gauge("irs_ledger_segments", l),
+		memtable:    reg.Gauge("irs_ledger_memtable_records", l),
 	}
 }
 

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package ledger
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without mmap falls back to reading the file
+// into memory. Correctness is identical; only the beyond-RAM property
+// is lost.
+func mapFile(f *os.File) (data []byte, release func() error, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package ledger
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the whole of f read-only. The returned release
+// function unmaps; the file descriptor itself may be closed as soon as
+// the mapping exists. Empty files map to a nil slice.
+func mapFile(f *os.File) (data []byte, release func() error, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -176,7 +176,7 @@ func TestFilterSnapshotShardCountInvariant(t *testing.T) {
 // byte-identical snapshots from it regardless of shard count.
 func TestWALReplayShardCountInvariant(t *testing.T) {
 	dirA := t.TempDir()
-	l, err := New(Config{ID: 1, Dir: dirA, Shards: 64})
+	l, err := New(Config{ID: 1, Dir: dirA, Shards: 64, Engine: EngineJSON})
 	if err != nil {
 		t.Fatal(err)
 	}

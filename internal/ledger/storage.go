@@ -1,0 +1,80 @@
+package ledger
+
+import (
+	"irs/internal/ids"
+)
+
+// storage is the persistence engine behind a ledger. Two
+// implementations exist:
+//
+//   - jsonStore: the original JSON-lines WAL plus whole-state snapshot
+//     (wal.go, compact.go). Kept as the baseline arm of the storage
+//     bench and for directories created by earlier versions.
+//   - segEngine: group-commit binary WAL plus immutable sorted segments
+//     (engine.go). The default for new directories.
+//
+// Mutators call the log* methods while holding the record's shard write
+// lock — the ordering invariant replay relies on (a claim always
+// precedes its ops in the log). lookup serves reads that miss the
+// in-memory shard maps; the JSON engine keeps everything resident, so
+// its lookup never hits.
+type storage interface {
+	logClaim(rec *Record) error
+	logOp(id ids.PhotoID, op Op, seq uint64) error
+	logPermanent(id ids.PhotoID) error
+
+	// lookup fetches a record by identifier from persistent storage.
+	// The returned record is a private copy; callers may retain it.
+	lookup(id ids.PhotoID) (*Record, bool, error)
+
+	// claims reports the exact number of distinct claims, if the engine
+	// tracks it (the segment engine must: the shard maps hold only the
+	// memtable).
+	claims() (uint64, bool)
+
+	// compact folds accumulated log state into its compact on-disk form.
+	compact(l *Ledger) error
+
+	// sync forces everything appended so far to stable storage.
+	sync() error
+
+	// walSize reports the current write-ahead-log size in bytes, for
+	// compaction scheduling.
+	walSize() (int64, error)
+
+	close() error
+}
+
+// jsonStore adapts the legacy JSON-lines WAL to the storage interface.
+type jsonStore struct {
+	w *wal
+}
+
+func (s *jsonStore) logClaim(rec *Record) error                  { return s.w.logClaim(rec) }
+func (s *jsonStore) logOp(id ids.PhotoID, op Op, n uint64) error { return s.w.logOp(id, op, n) }
+func (s *jsonStore) logPermanent(id ids.PhotoID) error           { return s.w.logPermanent(id) }
+
+// lookup never hits: the JSON engine keeps every record in the shard
+// maps.
+func (s *jsonStore) lookup(ids.PhotoID) (*Record, bool, error) { return nil, false, nil }
+
+func (s *jsonStore) claims() (uint64, bool) { return 0, false }
+
+func (s *jsonStore) compact(l *Ledger) error { return l.compactJSON(s.w) }
+
+func (s *jsonStore) sync() error { return s.w.sync() }
+
+func (s *jsonStore) walSize() (int64, error) {
+	s.w.mu.Lock()
+	defer s.w.mu.Unlock()
+	if err := s.w.w.Flush(); err != nil {
+		return 0, err
+	}
+	st, err := s.w.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (s *jsonStore) close() error { return s.w.close() }

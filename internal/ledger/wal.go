@@ -2,6 +2,7 @@ package ledger
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/ed25519"
 	"encoding/json"
 	"errors"
@@ -95,8 +96,21 @@ func (w *wal) replay(l *Ledger) error {
 		return fmt.Errorf("ledger: reading wal: %w", err)
 	}
 	if torn {
-		// Verify the torn line is the last content in the file, then
-		// truncate it away.
+		// Only a crash mid-append produces an undecodable record, and a
+		// crash tears the *last* record. Verify the bad bytes extend to
+		// end-of-file before truncating: an undecodable record with
+		// complete records after it is corruption, and silently
+		// truncating there would discard the valid tail.
+		if _, err := w.f.Seek(offset, io.SeekStart); err != nil {
+			return err
+		}
+		rest, err := io.ReadAll(w.f)
+		if err != nil {
+			return fmt.Errorf("ledger: reading wal tail: %w", err)
+		}
+		if i := bytes.IndexByte(rest, '\n'); i >= 0 && i+1 < len(rest) {
+			return fmt.Errorf("ledger: wal corrupt at offset %d: undecodable record followed by %d more bytes; refusing to truncate", offset, len(rest)-i-1)
+		}
 		if err := w.f.Truncate(offset); err != nil {
 			return fmt.Errorf("ledger: truncating torn wal tail: %w", err)
 		}
@@ -232,10 +246,11 @@ func (w *wal) close() error {
 
 // Sync forces WAL contents to stable storage; services call it on a
 // timer rather than per-operation to trade a bounded window of
-// durability for throughput.
+// durability for throughput. (With Config.WALSync = WALSyncBatch every
+// append is already durable and this is a cheap no-op barrier.)
 func (l *Ledger) Sync() error {
-	if l.wal == nil {
+	if l.store == nil {
 		return nil
 	}
-	return l.wal.sync()
+	return l.store.sync()
 }

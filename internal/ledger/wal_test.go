@@ -78,7 +78,7 @@ func TestWALTornTailTolerated(t *testing.T) {
 	dir := t.TempDir()
 	o := newOwner(t)
 	h := hashOf("torn")
-	l, err := New(Config{ID: 9, Dir: dir})
+	l, err := New(Config{ID: 9, Dir: dir, Engine: EngineJSON})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestWALTornTailTolerated(t *testing.T) {
 // same offset no matter how records scatter across shards).
 func TestWALTornTailShardedByteIdentical(t *testing.T) {
 	dir := t.TempDir()
-	l, err := New(Config{ID: 9, Dir: dir, Shards: 8})
+	l, err := New(Config{ID: 9, Dir: dir, Shards: 8, Engine: EngineJSON})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestWALTornTailShardedByteIdentical(t *testing.T) {
 // appendable, and reach the same state on a second recovery.
 func TestWALCrashMidBatchSharded(t *testing.T) {
 	dir := t.TempDir()
-	l, err := New(Config{ID: 9, Dir: dir, Shards: 8})
+	l, err := New(Config{ID: 9, Dir: dir, Shards: 8, Engine: EngineJSON})
 	if err != nil {
 		t.Fatal(err)
 	}

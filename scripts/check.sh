@@ -28,9 +28,29 @@ go test -race -run 'IndexConcurrentUploadLookupTakeDown|IndexedLinearDifferentia
     ./internal/aggregator
 
 # Upload pipeline: ordered-commit determinism against the serial path,
-# cancellation drain, and poisoned-item isolation, named under -race.
-go test -race -run 'PipelineDecisionsMatchSerial|PipelineCancellationDrains|PipelinePoisonedItem|VideoUploadWorkerInvariance|ServerBatchUpload' \
+# cancellation drain, poisoned-item isolation, and the bounded status
+# stage (fault parity, k-way concurrency, deadline), named under -race.
+go test -race -run 'PipelineDecisionsMatchSerial|PipelineCancellationDrains|PipelinePoisonedItem|PipelineStatus|VideoUploadWorkerInvariance|ServerBatchUpload' \
     ./internal/aggregator
+
+# Storage engine: group-commit coalescing, crash-injection recovery at
+# shard counts 1/8/32, engine/shard state equivalence, and the
+# HTTP-wired restart hammer — all named under the race detector.
+go test -race -run 'GroupCommit|WALSyncOS|Crash|RecoveryRemovesOrphans|MidFileCorruptionRefused|SegmentReopenShardAndEngineEquivalence|SegmentBackgroundFlushAndCompaction|StateHash' \
+    ./internal/ledger
+go test -race -run 'PersistentLedgerSurvivesRestart' ./internal/integration
+
+# Fuzz the binary record framing and the WAL replay path: ten seconds
+# each over the seeded corpus plus fresh mutations.
+go test -run='^$' -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/ledger
+go test -run='^$' -fuzz=FuzzWALReplayBytes -fuzztime=10s ./internal/ledger
+
+# Storage-engine bench smoke: a size-bounded run whose equivalence gate
+# still compares both engines' StateHash before any timing; the
+# committed artifact is BENCH_storage.json (10M claims, seed 42).
+go run ./cmd/irs-bench -storage -storage-out /tmp/irs_storage_smoke.json \
+    -storage-claims 50000 -storage-equiv 10000 -storage-reads 2000 \
+    -storage-memtable 16384
 
 # Observability layer: the metrics-conservation invariant end to end,
 # the chaos obs determinism replay, and the obs package's own suite,
