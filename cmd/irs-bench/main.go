@@ -91,6 +91,21 @@ func main() {
 		lookupWorkers = flag.String("lookup-workers", "1,4,8", "comma-separated client worker counts")
 		lookupProbes  = flag.Int("lookup-probes", 2000, "probes per size×arm×workers cell")
 		lookupHit     = flag.Float64("lookup-hit", 0.1, "fraction of probes that are near-threshold derivatives")
+
+		topo          = flag.Bool("topology", false, "run the multi-tier filter/replica distribution harness")
+		topoOut       = flag.String("topology-out", "BENCH_topology.json", "topology report path")
+		topoBrowsers  = flag.Int("topology-browsers", 1_200_000, "simulated browser population (modelled in aggregate)")
+		topoIDs       = flag.Int("topology-ids", 50_000, "claim population on the origin ledger")
+		topoRevoked   = flag.Float64("topology-revoked", 0.08, "fraction of claims revoked at birth")
+		topoRegionals = flag.Int("topology-regionals", 3, "regional tier width (replicas + filter caches)")
+		topoEdges     = flag.Int("topology-edges", 4, "edge proxies per regional")
+		topoIntervals = flag.String("topology-intervals", "30,60,120,300", "comma-separated sync intervals (seconds) to sweep")
+		topoWindow    = flag.Int("topology-window", 1800, "virtual seconds simulated per arm")
+		topoRevokes   = flag.Int("topology-revokes", 50, "mid-run revocations (staleness probes)")
+		topoBatch     = flag.Int("topology-batch", 48, "identifiers per page")
+		topoPages     = flag.Float64("topology-pages", 6, "page views per browser per hour")
+		topoSample    = flag.Int("topology-sample", 4, "pages actually validated per edge per virtual second")
+		topoZipf      = flag.Float64("topology-zipf", 1.1, "Zipf s parameter for view popularity (>1)")
 	)
 	flag.Parse()
 
@@ -102,6 +117,32 @@ func main() {
 	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+	if *topo {
+		intervals, err := parseIntList("-topology-intervals", *topoIntervals)
+		if err == nil {
+			err = runTopology(topologyConfig{
+				Out:          *topoOut,
+				Browsers:     *topoBrowsers,
+				IDs:          *topoIDs,
+				Revoked:      *topoRevoked,
+				Regionals:    *topoRegionals,
+				Edges:        *topoEdges,
+				Intervals:    intervals,
+				WindowSec:    *topoWindow,
+				Revokes:      *topoRevokes,
+				PageSize:     *topoBatch,
+				PagesPerHour: *topoPages,
+				SamplePages:  *topoSample,
+				Zipf:         *topoZipf,
+				Seed:         *seed,
+			})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irs-bench: topology: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *upload {
 		batches, err := parseIntList("-upload-batches", *uploadBatches)

@@ -25,6 +25,7 @@
 package bloom
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -261,6 +262,27 @@ func (f *Filter) Reset() {
 	f.n = 0
 }
 
+// Hash returns the SHA-256 of the filter's parameters and bit array.
+// The population estimate n is deliberately excluded: two filters that
+// answer every Test identically hash alike, which is the equivalence
+// the sync protocol's base-hash validation needs. (n can legitimately
+// differ between a snapshot and the same bits reached via deltas.)
+func (f *Filter) Hash() [32]byte {
+	h := sha256.New()
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:], f.m)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(f.k))
+	h.Write(hdr[:])
+	var wb [8]byte
+	for _, w := range f.bits {
+		binary.BigEndian.PutUint64(wb[:], w)
+		h.Write(wb[:])
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
 const filterMagic = "IRSBF1"
 
 // Marshal serializes the filter: magic ∥ m ∥ k ∥ n ∥ bit words.
@@ -288,13 +310,18 @@ func Unmarshal(b []byte) (*Filter, error) {
 	m := binary.BigEndian.Uint64(b[6:])
 	k := int(binary.BigEndian.Uint32(b[14:]))
 	n := binary.BigEndian.Uint64(b[18:])
+	body := b[26:]
+	// Validate m against the body BEFORE allocating: a hostile header can
+	// otherwise demand an absurd (or overflowing) bit array.
+	if m == 0 || m > uint64(len(body))*8 {
+		return nil, fmt.Errorf("bloom: m=%d inconsistent with %d body bytes", m, len(body))
+	}
 	f, err := New(m, k)
 	if err != nil {
 		return nil, err
 	}
 	f.n = n
 	want := len(f.bits) * 8
-	body := b[26:]
 	if len(body) != want {
 		return nil, fmt.Errorf("bloom: body %d bytes, want %d", len(body), want)
 	}

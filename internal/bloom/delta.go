@@ -17,24 +17,48 @@ import (
 // positions* as varint-encoded gaps — typically 1–3 bytes per flipped
 // bit versus the full snapshot's m/8 bytes. XOR semantics (flip, not
 // set) let the same encoding carry rebuilds that clear bits.
+//
+// Two frame versions exist:
+//
+//   - IRSBD1 (legacy): parameter header + flipped-bit gaps. Apply can
+//     verify only that m and k match — a delta applied to a filter with
+//     the right parameters but the wrong *contents* (a restarted ledger
+//     renumbering its epochs, a proxy that missed an update) corrupts
+//     the filter silently, and a corrupted revocation filter means
+//     false negatives: revoked photos served as "definitely not
+//     revoked".
+//   - IRSBD2: adds the SHA-256 of the base filter and of the expected
+//     result. Apply refuses a wrong base up front (ErrBaseMismatch) and
+//     verifies the result hash after flipping, so a v2 delta either
+//     reproduces the target exactly or fails loudly. The multi-tier
+//     sync protocol (internal/topology, wire /v1/filter/sync) only
+//     ships v2 frames.
+//
+// Deltas are not always smaller than snapshots: a rebuild after a mass
+// takedown can flip more bits than the full bit array carries. Update
+// picks whichever encoding is smaller; ApplyUpdate dispatches on the
+// frame magic. Callers of the sync protocol therefore never pay more
+// than one snapshot transfer, whatever the churn.
 
-const deltaMagic = "IRSBD1"
+const (
+	deltaMagic   = "IRSBD1"
+	deltaMagicV2 = "IRSBD2"
+)
 
-// Delta computes an update that transforms prev into next. The two
-// filters must share parameters.
-func Delta(prev, next *Filter) ([]byte, error) {
-	if prev.m != next.m || prev.k != next.k {
-		return nil, ErrMismatch
-	}
-	out := make([]byte, 0, 64)
-	out = append(out, deltaMagic...)
-	var hdr [28]byte
-	binary.BigEndian.PutUint64(hdr[0:], prev.m)
-	binary.BigEndian.PutUint32(hdr[8:], uint32(prev.k))
-	binary.BigEndian.PutUint64(hdr[12:], prev.n)
-	binary.BigEndian.PutUint64(hdr[20:], next.n)
-	out = append(out, hdr[:]...)
+// ErrBaseMismatch is returned when a v2 delta's base hash does not match
+// the filter it is being applied to: right parameters, wrong contents.
+// Callers fall back to a full snapshot pull.
+var ErrBaseMismatch = errors.New("bloom: delta base filter mismatch")
 
+// ErrResultMismatch is returned when a v2 delta applied cleanly but the
+// resulting bits do not hash to the encoded expectation (a corrupted or
+// forged frame). The filter passed to Apply must be discarded.
+var ErrResultMismatch = errors.New("bloom: delta result hash mismatch")
+
+// encodeGaps appends the varint-encoded flipped-bit positions between
+// prev and next: a uvarint count followed by uvarint gaps between
+// successive positions (first gap is position+1).
+func encodeGaps(out []byte, prev, next *Filter) []byte {
 	var varBuf [binary.MaxVarintLen64]byte
 	body := make([]byte, 0, 256)
 	var count uint64
@@ -53,16 +77,91 @@ func Delta(prev, next *Filter) ([]byte, error) {
 	}
 	n := binary.PutUvarint(varBuf[:], count)
 	out = append(out, varBuf[:n]...)
-	out = append(out, body...)
-	return out, nil
+	return append(out, body...)
 }
 
-// Apply mutates f by the given delta. f must be the exact base the delta
-// was computed from (same parameters; snapshot ordering is the caller's
-// responsibility — ledgers number snapshots so proxies apply them in
-// order).
+// putDeltaHeader appends the 28-byte parameter header shared by both
+// frame versions: m ∥ k ∥ prevN ∥ nextN.
+func putDeltaHeader(out []byte, prev, next *Filter) []byte {
+	var hdr [28]byte
+	binary.BigEndian.PutUint64(hdr[0:], prev.m)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(prev.k))
+	binary.BigEndian.PutUint64(hdr[12:], prev.n)
+	binary.BigEndian.PutUint64(hdr[20:], next.n)
+	return append(out, hdr[:]...)
+}
+
+// Delta computes a legacy v1 update that transforms prev into next. The
+// two filters must share parameters. New code should prefer
+// DeltaWithBase, which the receiver can validate against its held base.
+func Delta(prev, next *Filter) ([]byte, error) {
+	if prev.m != next.m || prev.k != next.k {
+		return nil, ErrMismatch
+	}
+	out := make([]byte, 0, 64)
+	out = append(out, deltaMagic...)
+	out = putDeltaHeader(out, prev, next)
+	return encodeGaps(out, prev, next), nil
+}
+
+// DeltaWithBase computes a v2 update that transforms prev into next,
+// carrying the SHA-256 of both endpoints so Apply can reject a wrong
+// base (ErrBaseMismatch) instead of silently corrupting the filter.
+func DeltaWithBase(prev, next *Filter) ([]byte, error) {
+	if prev.m != next.m || prev.k != next.k {
+		return nil, ErrMismatch
+	}
+	out := make([]byte, 0, 128)
+	out = append(out, deltaMagicV2...)
+	out = putDeltaHeader(out, prev, next)
+	baseHash := prev.Hash()
+	nextHash := next.Hash()
+	out = append(out, baseHash[:]...)
+	out = append(out, nextHash[:]...)
+	return encodeGaps(out, prev, next), nil
+}
+
+// v1 layout: magic(6) ∥ header(28) ∥ gaps.
+// v2 layout: magic(6) ∥ header(28) ∥ baseHash(32) ∥ nextHash(32) ∥ gaps.
+const (
+	deltaHeaderLen   = 6 + 28
+	deltaHeaderLenV2 = 6 + 28 + 32 + 32
+)
+
+// Apply mutates f by the given delta (either frame version). f must be
+// the exact base the delta was computed from. For v1 frames only the
+// parameters are checkable; a v2 frame additionally verifies f's hash
+// before flipping any bit (ErrBaseMismatch) and the result hash after
+// (ErrResultMismatch — f must then be discarded). Snapshot ordering is
+// the caller's responsibility; ledgers number snapshots so proxies
+// apply them in order.
 func Apply(f *Filter, delta []byte) error {
-	if len(delta) < 6+28 || string(delta[:6]) != deltaMagic {
+	if len(delta) < deltaHeaderLen {
+		return errors.New("bloom: bad delta encoding")
+	}
+	var body []byte
+	verify := false
+	var wantNext [32]byte
+	switch string(delta[:6]) {
+	case deltaMagic:
+		body = delta[deltaHeaderLen:]
+	case deltaMagicV2:
+		if len(delta) < deltaHeaderLenV2 {
+			return errors.New("bloom: truncated v2 delta header")
+		}
+		m := binary.BigEndian.Uint64(delta[6:])
+		k := int(binary.BigEndian.Uint32(delta[14:]))
+		if m != f.m || k != f.k {
+			return ErrMismatch
+		}
+		got := f.Hash()
+		if string(got[:]) != string(delta[34:66]) {
+			return ErrBaseMismatch
+		}
+		copy(wantNext[:], delta[66:98])
+		verify = true
+		body = delta[deltaHeaderLenV2:]
+	default:
 		return errors.New("bloom: bad delta encoding")
 	}
 	m := binary.BigEndian.Uint64(delta[6:])
@@ -71,7 +170,6 @@ func Apply(f *Filter, delta []byte) error {
 	if m != f.m || k != f.k {
 		return ErrMismatch
 	}
-	body := delta[34:]
 	count, used := binary.Uvarint(body)
 	if used <= 0 {
 		return errors.New("bloom: bad delta count")
@@ -94,5 +192,52 @@ func Apply(f *Filter, delta []byte) error {
 		return errors.New("bloom: trailing delta bytes")
 	}
 	f.n = nextN
+	if verify {
+		if got := f.Hash(); got != wantNext {
+			return ErrResultMismatch
+		}
+	}
 	return nil
+}
+
+// Update encodes the cheaper of a v2 delta and a full snapshot that
+// brings a holder of prev to next — the size escape hatch for
+// high-churn rebuilds, where the varint gap list can exceed the bit
+// array it describes. A nil prev or a parameter change always yields a
+// snapshot. The result feeds ApplyUpdate.
+func Update(prev, next *Filter) ([]byte, error) {
+	if next == nil {
+		return nil, errors.New("bloom: nil next filter")
+	}
+	snap := next.Marshal()
+	if prev == nil || prev.m != next.m || prev.k != next.k {
+		return snap, nil
+	}
+	delta, err := DeltaWithBase(prev, next)
+	if err != nil {
+		return nil, err
+	}
+	if len(delta) < len(snap) {
+		return delta, nil
+	}
+	return snap, nil
+}
+
+// ApplyUpdate resolves an Update payload against the holder's base
+// filter, returning the new filter. Snapshot payloads ignore base (nil
+// is fine); delta payloads are applied to a clone, so base is never
+// mutated and an ErrBaseMismatch/ErrResultMismatch leaves the caller's
+// state intact for a snapshot re-pull.
+func ApplyUpdate(base *Filter, payload []byte) (*Filter, error) {
+	if len(payload) >= 6 && string(payload[:6]) == filterMagic {
+		return Unmarshal(payload)
+	}
+	if base == nil {
+		return nil, errors.New("bloom: delta update without base filter")
+	}
+	next := base.Clone()
+	if err := Apply(next, payload); err != nil {
+		return nil, err
+	}
+	return next, nil
 }

@@ -39,12 +39,68 @@ func FuzzApply(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(d)
+	d2, err := DeltaWithBase(base, next)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(d2)
 	f.Add([]byte("IRSBD1"))
+	f.Add([]byte("IRSBD2"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fl, err := New(1<<10, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
 		_ = Apply(fl, data) // must not panic
+	})
+}
+
+// FuzzApplyUpdate: the sync-protocol payload decoder — snapshot frames,
+// v1/v2 delta frames, and hostile bytes dispatched by magic — must never
+// panic, and whatever it accepts must reproduce a coherent filter. A v2
+// frame that applies must hash to its own encoded target (anything else
+// means the base/result validation has a hole).
+func FuzzApplyUpdate(f *testing.F) {
+	base, err := New(1<<10, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	base.Add(11)
+	next := base.Clone()
+	next.Add(7)
+	if d, err := DeltaWithBase(base, next); err == nil {
+		f.Add(d)
+	}
+	if d, err := Delta(base, next); err == nil {
+		f.Add(d)
+	}
+	if u, err := Update(base, next); err == nil {
+		f.Add(u)
+	}
+	f.Add(next.Marshal())
+	f.Add([]byte("IRSBF1"))
+	f.Add([]byte("IRSBD2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := New(1<<10, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl.Add(11)
+		before := fl.Hash()
+		got, err := ApplyUpdate(fl, data)
+		if fl.Hash() != before {
+			t.Fatal("ApplyUpdate mutated its base")
+		}
+		if err != nil {
+			return
+		}
+		if len(data) >= 6 && string(data[:6]) == "IRSBD2" {
+			var want [32]byte
+			copy(want[:], data[66:98])
+			if got.Hash() != want {
+				t.Fatal("accepted v2 frame does not hash to its encoded target")
+			}
+		}
 	})
 }

@@ -107,6 +107,11 @@ func (l *Ledger) RestoreRecords(recs []Record) error {
 				sh.records[cp.ID] = &cp
 				if cp.State == StateRevoked || cp.State == StatePermanentlyRevoked {
 					sh.revoked[cp.ID] = true
+				} else {
+					// Restoring a newer active version must clear any stale
+					// revoked-index entry, or future filter snapshots keep
+					// flagging a claim that is no longer revoked.
+					delete(sh.revoked, cp.ID)
 				}
 			}
 			sh.mu.Unlock()
@@ -128,6 +133,8 @@ func (l *Ledger) RestoreRecords(recs []Record) error {
 			sh.records[cp.ID] = &cp
 			if cp.State == StateRevoked || cp.State == StatePermanentlyRevoked {
 				sh.revoked[cp.ID] = true
+			} else {
+				delete(sh.revoked, cp.ID)
 			}
 			err := st.w.append(&walEntry{
 				T:         "claim",
@@ -155,6 +162,8 @@ func (l *Ledger) RestoreRecords(recs []Record) error {
 			sh.records[cp.ID] = &cp
 			if cp.State == StateRevoked || cp.State == StatePermanentlyRevoked {
 				sh.revoked[cp.ID] = true
+			} else {
+				delete(sh.revoked, cp.ID)
 			}
 			sh.mu.Unlock()
 		}

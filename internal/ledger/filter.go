@@ -87,9 +87,11 @@ func (l *Ledger) BuildSnapshot() (seq uint64, err error) {
 	}
 	l.snapSeq++
 	l.snapshots[l.snapSeq] = f
+	l.snapHashes[l.snapSeq] = f.Hash()
 	l.snapOrder = append(l.snapOrder, l.snapSeq)
 	for len(l.snapOrder) > l.maxHistory {
 		delete(l.snapshots, l.snapOrder[0])
+		delete(l.snapHashes, l.snapOrder[0])
 		l.snapOrder = l.snapOrder[1:]
 	}
 	return l.snapSeq, nil
@@ -139,4 +141,41 @@ func (l *Ledger) FilterDelta(fromSeq uint64) (delta []byte, latest uint64, err e
 	}
 	d, err := bloom.Delta(from, l.snapshots[latest])
 	return d, latest, err
+}
+
+// FilterSync is the versioned sync protocol's server side: the caller
+// states the epoch it holds and the hash of the filter it actually has,
+// and always gets back whatever brings it to the latest epoch.
+//
+//   - Caller already at the latest epoch with the matching hash: empty
+//     payload (nothing to transfer).
+//   - Known epoch whose retained snapshot hashes to baseHash: the
+//     cheaper of a base-validated v2 delta and a full snapshot
+//     (bloom.Update's size gate).
+//   - Anything else — epoch expired from history, epoch ahead of us (a
+//     restarted origin renumbering epochs), or a hash that doesn't
+//     match what we published under that epoch (the caller's copy is
+//     not what it thinks it is): a full snapshot. Mismatch is a normal
+//     sync outcome here, never an error.
+//
+// The only error is ErrNoSnapshot before the first build.
+func (l *Ledger) FilterSync(from uint64, baseHash []byte) (payload []byte, latest uint64, err error) {
+	l.snapMu.RLock()
+	defer l.snapMu.RUnlock()
+	if len(l.snapOrder) == 0 {
+		return nil, 0, ErrNoSnapshot
+	}
+	latest = l.snapOrder[len(l.snapOrder)-1]
+	base := l.snapshots[from]
+	if base != nil {
+		want := l.snapHashes[from]
+		if len(baseHash) != 32 || string(baseHash) != string(want[:]) {
+			base = nil // right epoch number, wrong contents — resync fully
+		}
+	}
+	if base != nil && from == latest {
+		return nil, latest, nil
+	}
+	p, err := bloom.Update(base, l.snapshots[latest])
+	return p, latest, err
 }

@@ -170,6 +170,152 @@ func TestSnapshotHistoryEviction(t *testing.T) {
 	}
 }
 
+func TestFilterSync(t *testing.T) {
+	l := newLedger(t)
+	owners := make([]*owner, 0, 40)
+	receipts := make([]Receipt, 0, 40)
+	for i := 0; i < 40; i++ {
+		o := newOwner(t)
+		owners = append(owners, o)
+		receipts = append(receipts, o.claim(t, l, hashOf("s"+string(rune(i))), false))
+	}
+	if _, _, err := l.FilterSync(0, nil); err != ErrNoSnapshot {
+		t.Fatalf("before build: got %v, want ErrNoSnapshot", err)
+	}
+	seq1, err := l.BuildSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f1, err := l.FilterSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := f1.Hash()
+
+	// Up to date: empty payload.
+	payload, latest, err := l.FilterSync(seq1, h1[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != seq1 || payload != nil {
+		t.Fatalf("up-to-date sync: payload %d bytes latest %d", len(payload), latest)
+	}
+
+	// Revoke and build epoch 2: a valid base gets a delta that lands on
+	// the new filter.
+	for i := 0; i < 10; i++ {
+		if err := l.Apply(receipts[i].ID, OpRevoke, owners[i].signOp(receipts[i].ID, OpRevoke, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq2, err := l.BuildSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, latest, err = l.FilterSync(seq1, h1[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != seq2 {
+		t.Fatalf("latest = %d, want %d", latest, seq2)
+	}
+	got, err := bloom.ApplyUpdate(f1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f2, err := l.FilterSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != f2.Hash() {
+		t.Fatal("sync payload did not reproduce latest filter")
+	}
+
+	// A caller claiming epoch seq1 but holding different bits (restarted
+	// origin scenario) must get a full snapshot, not a delta that would
+	// corrupt it.
+	bogus := make([]byte, 32)
+	payload, _, err = l.FilterSync(seq1, bogus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bloom.ApplyUpdate(nil, payload); err != nil {
+		t.Fatalf("mismatched-base sync should carry a standalone snapshot: %v", err)
+	}
+
+	// Unknown epochs — ahead of the origin or expired from history —
+	// also resolve to a snapshot, never an error.
+	for _, from := range []uint64{99, 0} {
+		payload, latest, err = l.FilterSync(from, h1[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if latest != seq2 {
+			t.Fatalf("latest = %d, want %d", latest, seq2)
+		}
+		if _, err := bloom.ApplyUpdate(nil, payload); err != nil {
+			t.Fatalf("epoch %d sync should carry a standalone snapshot: %v", from, err)
+		}
+	}
+}
+
+// Restoring an *active* newer version of a previously revoked record
+// must clear the revoked index, or every future filter snapshot keeps
+// advertising the claim as revoked (stale-revocation leak through the
+// replication ingest path).
+func TestRestoreRecordsClearsRevokedIndex(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		engine Engine
+		dir    bool
+	}{
+		{"memory", EngineAuto, false},
+		{"json", EngineJSON, true},
+		{"segments", EngineSegments, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{ID: 7, Engine: tc.engine}
+			if tc.dir {
+				cfg.Dir = t.TempDir()
+			}
+			l, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			recs := makeRecords(t, 7, 8, 42)
+			for i := range recs {
+				recs[i].State = StateRevoked
+			}
+			if err := l.RestoreRecords(recs); err != nil {
+				t.Fatal(err)
+			}
+			// Owner un-revokes: replicate the newer active version.
+			upd := make([]Record, len(recs))
+			copy(upd, recs)
+			for i := range upd {
+				upd[i].State = StateActive
+				upd[i].OpSeq++
+			}
+			if err := l.RestoreRecords(upd); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.BuildSnapshot(); err != nil {
+				t.Fatal(err)
+			}
+			_, f, err := l.FilterSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range recs {
+				if f.Test(FilterKey(recs[i].ID)) {
+					t.Fatalf("%s: un-revoked claim %d still in revocation filter", tc.name, i)
+				}
+			}
+		})
+	}
+}
+
 func TestFilterKeyStable(t *testing.T) {
 	id := mustID(t)
 	if FilterKey(id) != FilterKey(id) {

@@ -191,6 +191,7 @@ type Ledger struct {
 	snapMu     sync.RWMutex
 	snapSeq    uint64
 	snapshots  map[uint64]*bloom.Filter
+	snapHashes map[uint64][32]byte
 	snapOrder  []uint64
 	maxHistory int
 
@@ -251,6 +252,7 @@ func New(cfg Config) (*Ledger, error) {
 		signPub:    pub,
 		signKey:    priv,
 		snapshots:  make(map[uint64]*bloom.Filter),
+		snapHashes: make(map[uint64][32]byte),
 		maxHistory: hist,
 	}
 	if cfg.Dir != "" {

@@ -238,10 +238,11 @@ type failingService struct {
 	err error
 }
 
-func (f *failingService) Filter() (uint64, *bloom.Filter, error)          { return 0, nil, f.err }
-func (f *failingService) FilterDelta(uint64) ([]byte, uint64, error)      { return nil, 0, f.err }
-func (f *failingService) Keys() (*wire.KeysResponse, error)               { return nil, f.err }
-func (f *failingService) Status(ids.PhotoID) (*ledger.StatusProof, error) { return nil, f.err }
+func (f *failingService) Filter() (uint64, *bloom.Filter, error)            { return 0, nil, f.err }
+func (f *failingService) FilterDelta(uint64) ([]byte, uint64, error)        { return nil, 0, f.err }
+func (f *failingService) FilterSync(uint64, []byte) ([]byte, uint64, error) { return nil, 0, f.err }
+func (f *failingService) Keys() (*wire.KeysResponse, error)                 { return nil, f.err }
+func (f *failingService) Status(ids.PhotoID) (*ledger.StatusProof, error)   { return nil, f.err }
 
 // TestRefreshFiltersCollectsErrors: one bad ledger must not stop the
 // others from refreshing, and the aggregate error must name it while
@@ -279,6 +280,151 @@ func TestRefreshFiltersCollectsErrors(t *testing.T) {
 	}
 	if v.Epoch(2) == 0 {
 		t.Error("healthy ledger did not refresh alongside the failures")
+	}
+}
+
+// revokedRecords fabricates minimal revoked claim records for
+// RestoreRecords into an in-memory ledger — enough to shape its
+// revocation filter without the owner claiming ceremony.
+func revokedRecords(t testing.TB, lid ids.LedgerID, n int) []ledger.Record {
+	t.Helper()
+	recs := make([]ledger.Record, n)
+	for i := range recs {
+		recs[i] = ledger.Record{ID: mustNewID(t, lid), State: ledger.StateRevoked}
+	}
+	return recs
+}
+
+// heldFilterHash peeks at the validator's installed filter for a ledger
+// (white-box; the refresh tests assert convergence on exact bits).
+func heldFilterHash(v *Validator, lid ids.LedgerID) [32]byte {
+	return v.fset.Load().filters[lid].Hash()
+}
+
+// TestRefreshFiltersSurvivesFilterRebuild: a ledger whose revoked
+// population outgrows the held filter resizes m/k on the next
+// snapshot. A proxy mid-stream (holding the old epoch) must converge
+// on the new filter via a full pull, not error the refresh.
+func TestRefreshFiltersSurvivesFilterRebuild(t *testing.T) {
+	l, err := ledger.New(ledger.Config{ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.RestoreRecords(revokedRecords(t, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.BuildSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	dir := wire.NewDirectory()
+	dir.Register(2, &wire.Loopback{L: l})
+	v := NewValidator(Config{UseFilter: true}, nil)
+	if err := v.RefreshFilters(dir); err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch(2) != 1 {
+		t.Fatalf("held epoch %d, want 1", v.Epoch(2))
+	}
+	// Outgrow the sizing floor so the next snapshot is forced to resize
+	// (different m/k — a delta against the held base is impossible).
+	if err := l.RestoreRecords(revokedRecords(t, 2, 1600)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.BuildSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := l.FilterSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RefreshFilters(dir); err != nil {
+		t.Fatalf("refresh across a filter rebuild must not error: %v", err)
+	}
+	if v.Epoch(2) != 2 {
+		t.Fatalf("held epoch %d, want 2", v.Epoch(2))
+	}
+	if heldFilterHash(v, 2) != want.Hash() {
+		t.Fatal("held filter does not match the rebuilt snapshot")
+	}
+}
+
+// TestRefreshFiltersDetectsBaseMismatch: a restarted ledger renumbers
+// its epochs, so "epoch 2" on the replacement names different bits than
+// the epoch 2 the proxy holds — with identical filter parameters
+// (guaranteed here by the sizing floor). A raw delta would apply
+// cleanly to the wrong base and silently corrupt the filter, turning
+// revoked photos into false negatives. The sync protocol's base hash
+// must detect the mismatch and resolve with a full snapshot.
+func TestRefreshFiltersDetectsBaseMismatch(t *testing.T) {
+	orig, err := ledger.New(ledger.Config{ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	if err := orig.RestoreRecords(revokedRecords(t, 2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := orig.BuildSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		if err := orig.RestoreRecords(revokedRecords(t, 2, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := wire.NewDirectory()
+	dir.Register(2, &wire.Loopback{L: orig})
+	v := NewValidator(Config{UseFilter: true}, nil)
+	if err := v.RefreshFilters(dir); err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch(2) != 2 {
+		t.Fatalf("held epoch %d, want 2", v.Epoch(2))
+	}
+
+	// "Restart": a fresh ledger under the same ID with a different
+	// revoked population, built out to epoch 3. Same m/k as the held
+	// base, epoch numbers overlap — only the base hash tells them apart.
+	replacement, err := ledger.New(ledger.Config{ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replacement.Close()
+	reps := revokedRecords(t, 2, 30)
+	if err := replacement.RestoreRecords(reps[:10]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := replacement.BuildSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		if err := replacement.RestoreRecords(reps[10+i*5 : 15+i*5]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, want, err := replacement.FilterSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir.Register(2, &wire.Loopback{L: replacement})
+
+	if err := v.RefreshFilters(dir); err != nil {
+		t.Fatalf("refresh across a ledger restart must not error: %v", err)
+	}
+	if v.Epoch(2) != 3 {
+		t.Fatalf("held epoch %d, want 3", v.Epoch(2))
+	}
+	if heldFilterHash(v, 2) != want.Hash() {
+		t.Fatal("held filter corrupted: does not match the replacement ledger's snapshot")
+	}
+	// Every currently revoked claim must hit the refreshed filter — the
+	// "definitely not revoked" guarantee the corruption would break.
+	set := v.fset.Load().filters[ids.LedgerID(2)]
+	for i := 10; i < 20; i++ {
+		if !set.Test(ledger.FilterKey(reps[i].ID)) {
+			t.Fatalf("revoked claim %d missing from refreshed filter", i)
+		}
 	}
 }
 

@@ -51,6 +51,30 @@ type cacheEntry struct {
 	expires time.Time
 }
 
+// Window semantics, shared by get and getStale so the boundary can't
+// drift between them:
+//
+//	now ≤ expires              fresh (get serves; getStale also serves)
+//	expires < now ≤ expires+stale   stale-only (getStale serves)
+//	now > expires+stale        gone (dropped on next touch)
+//
+// Both boundaries are inclusive: a proof at exactly `expires` is still
+// fresh, and at exactly `expires+stale` is still stale-servable. An
+// entry is therefore servable by *some* path until strictly after
+// expires+stale, and there is no instant at which it is neither
+// fresh-expired nor stale-servable.
+
+// fresh reports whether the entry may be served on the normal path.
+func (e *cacheEntry) fresh(now time.Time) bool {
+	return !now.After(e.expires)
+}
+
+// staleServable reports whether the entry may be served on the
+// degraded path (fresh entries qualify too).
+func (e *cacheEntry) staleServable(now time.Time, stale time.Duration) bool {
+	return !now.After(e.expires.Add(stale))
+}
+
 func newCache(capacity int, ttl, stale time.Duration, now func() time.Time, stripes int) *cache {
 	n := normalizeStripes(stripes)
 	for n > 1 && capacity/n < minStripeCap {
@@ -88,8 +112,8 @@ func (c *cache) get(id ids.PhotoID) *ledger.StatusProof {
 		return nil
 	}
 	e := el.Value.(*cacheEntry)
-	if now := s.now(); now.After(e.expires) {
-		if s.stale <= 0 || now.After(e.expires.Add(s.stale)) {
+	if now := s.now(); !e.fresh(now) {
+		if s.stale <= 0 || !e.staleServable(now, s.stale) {
 			s.order.Remove(el)
 			delete(s.entries, id)
 		}
@@ -115,7 +139,7 @@ func (c *cache) getStale(id ids.PhotoID) *ledger.StatusProof {
 		return nil
 	}
 	e := el.Value.(*cacheEntry)
-	if s.now().After(e.expires.Add(s.stale)) {
+	if !e.staleServable(s.now(), s.stale) {
 		s.order.Remove(el)
 		delete(s.entries, id)
 		return nil

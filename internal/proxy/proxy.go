@@ -675,18 +675,27 @@ func (v *Validator) refreshOne(lid ids.LedgerID, client wire.Service) error {
 	heldFilter := set.filters[lid]
 
 	if held > 0 && heldFilter != nil {
-		delta, latest, err := client.FilterDelta(held)
+		// Versioned sync: present the held epoch AND the hash of the
+		// filter we actually hold. The server decides delta vs snapshot
+		// by size, and a base mismatch — a ledger that rebuilt with
+		// different m/k mid-stream, or restarted and renumbered epochs so
+		// "epoch held" no longer names the bits we have — resolves to a
+		// snapshot instead of a corrupting delta or a failed refresh.
+		h := heldFilter.Hash()
+		payload, latest, err := client.FilterSync(held, h[:])
 		if err == nil {
-			if latest == held {
-				return nil
+			if len(payload) == 0 {
+				return nil // server validated our base: already current
 			}
-			f := heldFilter.Clone()
-			if aerr := bloom.Apply(f, delta); aerr == nil {
+			// ApplyUpdate works on a clone; the held filter is untouched
+			// if the payload turns out corrupt.
+			if f, aerr := bloom.ApplyUpdate(heldFilter, payload); aerr == nil {
 				v.SetFilter(lid, latest, f)
 				return nil
 			}
-			// Parameter change mid-stream: fall through to full fetch.
 		}
+		// Sync unavailable (older server) or payload rejected: fall
+		// through to the unconditional full fetch.
 	}
 	epoch, f, err := client.Filter()
 	if err != nil {

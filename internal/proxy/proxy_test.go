@@ -149,6 +149,80 @@ func TestCacheTTLExpiry(t *testing.T) {
 	}
 }
 
+// TestCacheStaleBoundary pins the serving-window boundaries with an
+// injected clock: fresh through [put, expires] inclusive, stale-only
+// through (expires, expires+stale] inclusive, gone strictly after
+// expires+stale. At no instant is an entry neither fresh nor
+// stale-servable while still within the window, and at no instant past
+// the window is it servable by either path.
+func TestCacheStaleBoundary(t *testing.T) {
+	const (
+		ttl   = time.Minute
+		stale = 30 * time.Second
+	)
+	t0 := time.Date(2022, 11, 14, 0, 0, 0, 0, time.UTC)
+	now := t0
+	clock := func() time.Time { return now }
+	id := mustNewID(t, 1)
+	proof := &ledger.StatusProof{ID: id, State: ledger.StateActive, IssuedAt: t0}
+
+	for _, tc := range []struct {
+		name        string
+		at          time.Time
+		fresh       bool
+		staleServes bool
+	}{
+		{"just put", t0, true, true},
+		{"mid ttl", t0.Add(ttl / 2), true, true},
+		{"exactly expires", t0.Add(ttl), true, true},
+		{"1ns past expires", t0.Add(ttl + time.Nanosecond), false, true},
+		{"mid stale window", t0.Add(ttl + stale/2), false, true},
+		{"exactly expires+stale", t0.Add(ttl + stale), false, true},
+		{"1ns past expires+stale", t0.Add(ttl + stale + time.Nanosecond), false, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			now = t0
+			c := newCache(16, ttl, stale, clock, 1)
+			c.put(id, proof)
+			now = tc.at
+			if got := c.get(id) != nil; got != tc.fresh {
+				t.Errorf("get servable = %v, want %v", got, tc.fresh)
+			}
+			// get may have dropped the entry past the window; getStale on a
+			// fresh copy must agree with the combined predicate.
+			now = t0
+			c2 := newCache(16, ttl, stale, clock, 1)
+			c2.put(id, proof)
+			now = tc.at
+			if got := c2.getStale(id) != nil; got != tc.staleServes {
+				t.Errorf("getStale servable = %v, want %v", got, tc.staleServes)
+			}
+			if tc.fresh && !tc.staleServes {
+				t.Error("impossible state: fresh but not stale-servable")
+			}
+			// Past the window both paths must also have evicted the entry.
+			if !tc.staleServes {
+				if c.len() != 0 || c2.len() != 0 {
+					t.Errorf("expired entry retained: get-path len %d, stale-path len %d", c.len(), c2.len())
+				}
+			}
+		})
+	}
+
+	// Zero stale window: expired entries are dropped on sight and
+	// getStale never serves.
+	now = t0
+	c := newCache(16, ttl, 0, clock, 1)
+	c.put(id, proof)
+	now = t0.Add(ttl + time.Nanosecond)
+	if c.get(id) != nil || c.getStale(id) != nil {
+		t.Error("zero stale window still served an expired entry")
+	}
+	if c.len() != 0 {
+		t.Error("zero stale window retained an expired entry")
+	}
+}
+
 func TestCacheLRUEviction(t *testing.T) {
 	fl := newFakeLedger()
 	v := NewValidator(Config{CacheCapacity: 2, CacheTTL: time.Hour}, fl.query)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"crypto/ed25519"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -384,6 +385,19 @@ func (c *Client) Filter() (epoch uint64, f *bloom.Filter, err error) {
 // FilterDelta downloads the delta from a held epoch to the latest.
 func (c *Client) FilterDelta(from uint64) (delta []byte, latest uint64, err error) {
 	return c.getRaw("filter_delta", "/v1/filter/delta?from="+strconv.FormatUint(from, 10))
+}
+
+// FilterSync runs one round of the versioned sync protocol: the held
+// epoch and base-filter hash go up, an ApplyUpdate payload (or nothing,
+// if current) comes back.
+func (c *Client) FilterSync(from uint64, baseHash []byte) (payload []byte, latest uint64, err error) {
+	path := "/v1/filter/sync?from=" + strconv.FormatUint(from, 10) +
+		"&base=" + hex.EncodeToString(baseHash)
+	payload, latest, err = c.getRaw("filter_sync", path)
+	if err == nil && len(payload) == 0 {
+		payload = nil
+	}
+	return payload, latest, err
 }
 
 // PermanentRevoke invokes the admin endpoint; the client must have been

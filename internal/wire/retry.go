@@ -312,6 +312,17 @@ func (r *RetryClient) FilterDelta(from uint64) (delta []byte, latest uint64, err
 	return delta, latest, err
 }
 
+// FilterSync implements Service; idempotent, retried on any transport
+// failure.
+func (r *RetryClient) FilterSync(from uint64, baseHash []byte) (payload []byte, latest uint64, err error) {
+	err = r.do(true, func(s Service) error {
+		var e error
+		payload, latest, e = s.FilterSync(from, baseHash)
+		return e
+	})
+	return payload, latest, err
+}
+
 // PermanentRevoke implements Service; retried only on pre-send failure.
 func (r *RetryClient) PermanentRevoke(id ids.PhotoID) error {
 	return r.do(false, func(s Service) error { return s.PermanentRevoke(id) })

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"crypto/subtle"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/http"
@@ -63,6 +64,7 @@ func NewServerOpts(l *ledger.Ledger, adminToken string, opts ServerOptions) *Ser
 	route("GET /v1/keys", "keys", s.handleKeys)
 	route("GET /v1/filter", "filter", s.handleFilter)
 	route("GET /v1/filter/delta", "filter_delta", s.handleFilterDelta)
+	route("GET /v1/filter/sync", "filter_sync", s.handleFilterSync)
 	route("POST /v1/admin/permanent-revoke", "admin_revoke", s.handleAdminRevoke)
 	if opts.Debug {
 		obs.RegisterDebug(s.mux, reg, opts.Tracer)
@@ -267,6 +269,29 @@ func (s *Server) handleFilterDelta(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-IRS-Epoch", strconv.FormatUint(latest, 10))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(delta)
+}
+
+func (s *Server) handleFilterSync(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "from must be an epoch number")
+		return
+	}
+	// base is the hex SHA-256 of the caller's held filter; absent or
+	// malformed just means "no valid base" and resolves to a snapshot.
+	baseHash, err := hex.DecodeString(r.URL.Query().Get("base"))
+	if err != nil {
+		baseHash = nil
+	}
+	payload, latest, err := s.ledger.FilterSync(from, baseHash)
+	if err != nil {
+		WriteError(w, statusFor(err), err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-IRS-Epoch", strconv.FormatUint(latest, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
 }
 
 func (s *Server) handleAdminRevoke(w http.ResponseWriter, r *http.Request) {

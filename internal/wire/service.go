@@ -24,6 +24,14 @@ type Service interface {
 	Keys() (*KeysResponse, error)
 	Filter() (epoch uint64, f *bloom.Filter, err error)
 	FilterDelta(from uint64) (delta []byte, latest uint64, err error)
+	// FilterSync is the versioned filter sync: the caller presents the
+	// epoch and hash of the filter it holds and receives whatever
+	// payload (base-validated delta or full snapshot, whichever is
+	// smaller — feed it to bloom.ApplyUpdate) brings it to the latest
+	// epoch. An empty payload means the caller is already current. A
+	// base mismatch is resolved by the server (snapshot), not surfaced
+	// as an error.
+	FilterSync(from uint64, baseHash []byte) (payload []byte, latest uint64, err error)
 	PermanentRevoke(id ids.PhotoID) error
 }
 
@@ -96,6 +104,11 @@ func (lb *Loopback) Filter() (uint64, *bloom.Filter, error) {
 // FilterDelta implements Service.
 func (lb *Loopback) FilterDelta(from uint64) ([]byte, uint64, error) {
 	return lb.L.FilterDelta(from)
+}
+
+// FilterSync implements Service.
+func (lb *Loopback) FilterSync(from uint64, baseHash []byte) ([]byte, uint64, error) {
+	return lb.L.FilterSync(from, baseHash)
 }
 
 // PermanentRevoke implements Service. The loopback caller is in-process

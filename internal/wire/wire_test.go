@@ -229,6 +229,75 @@ func TestFilterOverHTTP(t *testing.T) {
 	}
 }
 
+func TestFilterSyncOverHTTP(t *testing.T) {
+	env := newEnv(t, ledger.Config{}, "")
+	k := newKeypair(t)
+	if _, _, err := env.client.FilterSync(0, nil); ErrStatus(err) != http.StatusNotFound {
+		t.Errorf("pre-snapshot sync: %v", err)
+	}
+	r := k.claimVia(t, env.client, "sync1", true)
+	if _, err := env.ledger.BuildSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Cold start: no base at all → full snapshot.
+	payload, epoch, err := env.client.FilterSync(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Errorf("epoch %d", epoch)
+	}
+	f, err := bloom.ApplyUpdate(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Test(ledger.FilterKey(r.ID)) {
+		t.Error("revoked id missing from synced filter")
+	}
+
+	// Current holder: empty payload.
+	h := f.Hash()
+	payload, latest, err := env.client.FilterSync(epoch, h[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload != nil || latest != epoch {
+		t.Errorf("up-to-date sync returned %d bytes, latest %d", len(payload), latest)
+	}
+
+	// New epoch: valid base gets an incremental payload that lands on
+	// the latest filter.
+	k2 := newKeypair(t)
+	r2 := k2.claimVia(t, env.client, "sync2", true)
+	if _, err := env.ledger.BuildSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	payload, latest, err = env.client.FilterSync(epoch, h[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != 2 {
+		t.Errorf("latest %d", latest)
+	}
+	f2, err := bloom.ApplyUpdate(f, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Test(ledger.FilterKey(r2.ID)) {
+		t.Error("sync payload did not carry the new revocation")
+	}
+
+	// Holder lying about (or confused over) its base: server resolves
+	// with a standalone snapshot rather than a corrupting delta.
+	payload, _, err = env.client.FilterSync(epoch, make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bloom.ApplyUpdate(nil, payload); err != nil {
+		t.Fatalf("mismatched base should yield a snapshot: %v", err)
+	}
+}
+
 func TestAdminRevoke(t *testing.T) {
 	env := newEnv(t, ledger.Config{}, "sekrit")
 	k := newKeypair(t)

@@ -52,6 +52,26 @@ go run ./cmd/irs-bench -storage -storage-out /tmp/irs_storage_smoke.json \
     -storage-claims 50000 -storage-equiv 10000 -storage-reads 2000 \
     -storage-memtable 16384
 
+# Multi-tier filter distribution and ledger replication: the topology
+# package suite (tier chaining, base-mismatch fallback, checkpoint
+# gate, anti-entropy resync) plus the named sync-protocol regressions
+# in bloom/ledger/wire/proxy, all under the race detector.
+go test -race ./internal/topology
+go test -race -run 'FilterSync|DeltaV2|UpdateCrossover|ApplyUpdate|RefreshFiltersSurvivesFilterRebuild|RefreshFiltersDetectsBaseMismatch|RestoreRecordsClearsRevokedIndex|CacheStaleBoundary' \
+    ./internal/bloom ./internal/ledger ./internal/wire ./internal/proxy
+
+# Fuzz the delta decoder (varint/gap parsing, v2 hash frames): ten
+# seconds over the seeded corpus plus fresh mutations. The pattern is
+# anchored because -fuzz matches by prefix and FuzzApply* share one.
+go test -run='^$' -fuzz='^FuzzApplyUpdate$' -fuzztime=10s ./internal/bloom
+
+# Topology bench smoke: a size-bounded virtual-time run; the harness
+# exits nonzero if any replica fails the StateHash gate. The committed
+# artifact is BENCH_topology.json (1.2M browsers, seed 42).
+go run ./cmd/irs-bench -topology -topology-out /tmp/irs_topology_smoke.json \
+    -topology-browsers 20000 -topology-ids 4000 -topology-window 300 \
+    -topology-intervals 30,60 -topology-revokes 8 -topology-sample 2
+
 # Observability layer: the metrics-conservation invariant end to end,
 # the chaos obs determinism replay, and the obs package's own suite,
 # all under the race detector.
