@@ -25,7 +25,33 @@ import (
 
 	"irs/internal/expt"
 	"irs/internal/parallel"
+	"irs/internal/wire"
 )
+
+// parseWireList parses the -wire flag: a comma list of codec names,
+// deduplicated, order preserved.
+func parseWireList(s string) ([]wire.Codec, error) {
+	var codecs []wire.Codec
+	seen := map[wire.Codec]bool{}
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, err := wire.ParseCodec(name)
+		if err != nil {
+			return nil, fmt.Errorf("-wire: %w", err)
+		}
+		if !seen[c] {
+			seen[c] = true
+			codecs = append(codecs, c)
+		}
+	}
+	if len(codecs) == 0 {
+		return nil, fmt.Errorf("-wire: empty codec list")
+	}
+	return codecs, nil
+}
 
 // parallelTiming is one row of the -parallel-out report: the same
 // experiment timed at workers=1 and at the configured pool width, with
@@ -58,6 +84,7 @@ func main() {
 		servePages   = flag.Int("serve-pages", 60, "pages per worker per arm")
 		serveRevoked = flag.Float64("serve-revoked", 0.1, "fraction of claims revoked at birth")
 		serveZipf    = flag.Float64("serve-zipf", 1.1, "Zipf s parameter for view popularity (>1)")
+		wireCodecs   = flag.String("wire", "json,binary", "comma-separated wire codecs for -serve and -topology arms (json|binary)")
 
 		chaos       = flag.Bool("chaos", false, "run the fault-injection arm of the serving harness")
 		chaosOut    = flag.String("chaos-out", "BENCH_chaos.json", "chaos report path")
@@ -120,8 +147,13 @@ func main() {
 	}
 	if *topo {
 		intervals, err := parseIntList("-topology-intervals", *topoIntervals)
+		var codecs []wire.Codec
+		if err == nil {
+			codecs, err = parseWireList(*wireCodecs)
+		}
 		if err == nil {
 			err = runTopology(topologyConfig{
+				Wire:         codecs,
 				Out:          *topoOut,
 				Browsers:     *topoBrowsers,
 				IDs:          *topoIDs,
@@ -254,16 +286,20 @@ func main() {
 		return
 	}
 	if *serve {
-		err := runServe(serveConfig{
-			Out:     *serveOut,
-			Workers: *serveWorkers,
-			IDs:     *serveIDs,
-			Batch:   *serveBatch,
-			Pages:   *servePages,
-			Revoked: *serveRevoked,
-			Zipf:    *serveZipf,
-			Seed:    *seed,
-		})
+		codecs, err := parseWireList(*wireCodecs)
+		if err == nil {
+			err = runServe(serveConfig{
+				Out:     *serveOut,
+				Workers: *serveWorkers,
+				IDs:     *serveIDs,
+				Batch:   *serveBatch,
+				Pages:   *servePages,
+				Revoked: *serveRevoked,
+				Zipf:    *serveZipf,
+				Seed:    *seed,
+				Wire:    codecs,
+			})
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "irs-bench: serve: %v\n", err)
 			os.Exit(1)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	crand "crypto/rand"
 	"crypto/sha256"
@@ -48,12 +49,16 @@ type serveConfig struct {
 	Revoked float64
 	Zipf    float64
 	Seed    int64
+	// Wire lists the codecs to run HTTP arms under (-wire). With more
+	// than one, the identical-results gate runs before any timing.
+	Wire []wire.Codec
 }
 
 // serveArm is one measured configuration.
 type serveArm struct {
 	Arm       string  `json:"arm"`
-	Transport string  `json:"transport"` // "http" or "direct"
+	Transport string  `json:"transport"`      // "http" or "direct"
+	Wire      string  `json:"wire,omitempty"` // "json" or "binary" on http arms
 	Batch     bool    `json:"batch"`
 	Shards    int     `json:"shards"`
 	Stripes   int     `json:"stripes"`
@@ -84,7 +89,13 @@ type serveReport struct {
 	// requests against the sharded ledger) over the old path (per-image
 	// requests against the single-lock ledger), both over real HTTP.
 	Speedup float64 `json:"speedup_batch_sharded_vs_per_id_single_lock"`
-	Note    string  `json:"note"`
+	// SpeedupWire compares the IRSW1 codec against JSON on the headline
+	// arm (http/batch/sharded), and WireP99DeltaMs the p99 change
+	// (negative = binary is faster). Zero when only one codec ran.
+	SpeedupWire   float64 `json:"speedup_wire_binary_vs_json,omitempty"`
+	WireP99Delta  float64 `json:"wire_p99_delta_ms,omitempty"`
+	WireGatePages int     `json:"wire_gate_pages,omitempty"`
+	Note          string  `json:"note"`
 }
 
 // serveLedger is one prepared backend: a populated ledger plus both
@@ -165,14 +176,14 @@ func setupServeLedger(cfg serveConfig, shards int) (*serveLedger, error) {
 // runServeArm drives one arm: cfg.Workers goroutines each validate
 // cfg.Pages pages of cfg.Batch Zipf-drawn identifiers, per-image or
 // batched, and record per-page latency.
-func runServeArm(cfg serveConfig, name string, backend *serveLedger, transport string, batch bool, shards, stripes int) (serveArm, error) {
+func runServeArm(cfg serveConfig, name string, backend *serveLedger, transport string, codec wire.Codec, batch bool, shards, stripes int) (serveArm, error) {
 	// One registry per arm: the proxy's outcome/latency series and (over
 	// HTTP) the wire client's per-RPC series land together, so the arm's
 	// Metrics block is self-contained and arms never share counters.
 	reg := obs.NewRegistry()
 	var svc wire.Service
 	if transport == "http" {
-		svc = wire.NewClientOpts(backend.url, "", wire.ClientOptions{Obs: reg})
+		svc = wire.NewClientOpts(backend.url, "", wire.ClientOptions{Obs: reg, Codec: codec})
 	} else {
 		svc = backend.direct
 	}
@@ -247,10 +258,15 @@ func runServeArm(cfg serveConfig, name string, backend *serveLedger, transport s
 		mean = float64(sum.Microseconds()) / float64(len(all)) / 1000
 	}
 	totalIDs := float64(len(all) * cfg.Batch)
+	wireName := ""
+	if transport == "http" {
+		wireName = codec.String()
+	}
 	return serveArm{
 		Metrics:   reg.Snapshot(),
 		Arm:       name,
 		Transport: transport,
+		Wire:      wireName,
 		Batch:     batch,
 		Shards:    shards,
 		Stripes:   stripes,
@@ -265,8 +281,125 @@ func runServeArm(cfg serveConfig, name string, backend *serveLedger, transport s
 	}, nil
 }
 
+// wireGatePages is how many probe pages the identical-results gate
+// replays under each codec before any timing arm runs.
+const wireGatePages = 16
+
+// runWireGate proves the codecs interchangeable before anything is
+// timed: a fixed-clock ledger (so proofs are bit-reproducible) answers
+// the same probe pages through a JSON-codec validator and an
+// IRSW1-codec validator, and every decision and every proof must match
+// byte for byte, with each proof verifying against the signing key.
+func runWireGate(cfg serveConfig) (int, error) {
+	fixed := time.Unix(1_700_000_000, 0).UTC()
+	l, err := ledger.New(ledger.Config{
+		ID:    1,
+		Clock: func() time.Time { return fixed },
+		Rand:  rand.New(rand.NewSource(cfg.Seed ^ 0x6a7e)),
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	pub, priv, err := ed25519.GenerateKey(crand.Reader)
+	if err != nil {
+		return 0, err
+	}
+	population := make([]ids.PhotoID, 512)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x3a1))
+	for i := range population {
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(cfg.Seed)+uint64(i))
+		h := sha256.Sum256(buf[:])
+		rec, err := l.Claim(h, pub, ed25519.Sign(priv, ledger.ClaimMsg(h)), rng.Float64() < cfg.Revoked)
+		if err != nil {
+			return 0, err
+		}
+		population[i] = rec.ID
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	hs := &http.Server{Handler: wire.NewServer(l, "")}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String()
+
+	mkValidator := func(codec wire.Codec) *proxy.Validator {
+		c := wire.NewClientOpts(url, "", wire.ClientOptions{Codec: codec})
+		v := proxy.NewValidator(proxy.Config{}, func(id ids.PhotoID) (*ledger.StatusProof, error) {
+			return c.Status(id)
+		})
+		v.SetBatchQuery(func(_ ids.LedgerID, page []ids.PhotoID) ([]*ledger.StatusProof, error) {
+			return c.StatusBatch(page)
+		})
+		return v
+	}
+	jv, bv := mkValidator(wire.CodecJSON), mkValidator(wire.CodecBinary)
+
+	// The zero proxy.Config disables cache and filter, so every probe
+	// traverses the wire both rounds; the second round matters because
+	// the binary client only sends IRSW1 request bodies after the first
+	// response advertised the codec.
+	prng := rand.New(rand.NewSource(cfg.Seed ^ 0x11d))
+	pages := 0
+	for round := 0; round < 2; round++ {
+		for p := 0; p < wireGatePages; p++ {
+			page := make([]ids.PhotoID, cfg.Batch)
+			for i := range page {
+				page[i] = population[prng.Intn(len(population))]
+			}
+			jres, err := jv.ValidateBatch(page)
+			if err != nil {
+				return 0, fmt.Errorf("wire gate (json): %w", err)
+			}
+			bres, err := bv.ValidateBatch(page)
+			if err != nil {
+				return 0, fmt.Errorf("wire gate (binary): %w", err)
+			}
+			for i := range page {
+				j, b := jres[i], bres[i]
+				if j.State != b.State || (j.Proof == nil) != (b.Proof == nil) {
+					return 0, fmt.Errorf("wire gate: page %d id %d: decisions differ (json %v, binary %v)",
+						p, i, j.State, b.State)
+				}
+				if j.Proof != nil {
+					jm, bm := j.Proof.Marshal(), b.Proof.Marshal()
+					if !bytes.Equal(jm, bm) {
+						return 0, fmt.Errorf("wire gate: page %d id %d: proof bytes differ across codecs", p, i)
+					}
+					if err := ledger.VerifyProof(l.SigningKey(), b.Proof, fixed, 0); err != nil {
+						return 0, fmt.Errorf("wire gate: page %d id %d: binary proof does not verify: %w", p, i, err)
+					}
+				}
+			}
+			pages++
+		}
+	}
+	return pages, nil
+}
+
 // runServe executes every arm and writes the report.
 func runServe(cfg serveConfig) error {
+	if len(cfg.Wire) == 0 {
+		cfg.Wire = []wire.Codec{wire.CodecJSON}
+	}
+
+	// Identical-results gate before any timing: when the binary codec
+	// is in play, it must be indistinguishable from JSON in decisions
+	// and proofs or the comparison is meaningless.
+	for _, c := range cfg.Wire {
+		if c == wire.CodecBinary {
+			pages, err := runWireGate(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wire gate: %d probe pages, decisions and proofs byte-identical across codecs\n", pages)
+			break
+		}
+	}
+
 	single, err := setupServeLedger(cfg, 1)
 	if err != nil {
 		return err
@@ -278,21 +411,32 @@ func runServe(cfg serveConfig) error {
 	}
 	defer sharded.close()
 
-	arms := []struct {
+	type armSpec struct {
 		name      string
 		backend   *serveLedger
 		transport string
+		codec     wire.Codec
 		batch     bool
 		shards    int
 		stripes   int
-	}{
-		{"http/per-id/single-lock", single, "http", false, 1, 1},
-		{"http/per-id/sharded", sharded, "http", false, 64, 16},
-		{"http/batch/single-lock", single, "http", true, 1, 1},
-		{"http/batch/sharded", sharded, "http", true, 64, 16},
-		{"direct/per-id/sharded", sharded, "direct", false, 64, 16},
-		{"direct/batch/sharded", sharded, "direct", true, 64, 16},
 	}
+	var arms []armSpec
+	for _, codec := range cfg.Wire {
+		suffix := ""
+		if codec != wire.CodecJSON {
+			suffix = "/wire=" + codec.String()
+		}
+		arms = append(arms,
+			armSpec{"http/per-id/single-lock" + suffix, single, "http", codec, false, 1, 1},
+			armSpec{"http/per-id/sharded" + suffix, sharded, "http", codec, false, 64, 16},
+			armSpec{"http/batch/single-lock" + suffix, single, "http", codec, true, 1, 1},
+			armSpec{"http/batch/sharded" + suffix, sharded, "http", codec, true, 64, 16},
+		)
+	}
+	arms = append(arms,
+		armSpec{"direct/per-id/sharded", sharded, "direct", wire.CodecJSON, false, 64, 16},
+		armSpec{"direct/batch/sharded", sharded, "direct", wire.CodecJSON, true, 64, 16},
+	)
 
 	report := serveReport{
 		Seed:       cfg.Seed,
@@ -303,29 +447,42 @@ func runServe(cfg serveConfig) error {
 		Zipf:       cfg.Zipf,
 		Note: "closed loop: workers validate pages of Zipf-drawn ids through a proxy Validator " +
 			"(cache and filter off) against a loopback ledger; per-id = one GET per image, " +
-			"batch = one StatusBatch POST per page",
+			"batch = one StatusBatch POST per page; wire=binary arms speak IRSW1 on the hot RPCs " +
+			"behind an identical-decisions-and-proofs gate",
 	}
 	var baseline, headline float64
+	var jsonHead, binHead *serveArm
 	for _, a := range arms {
-		res, err := runServeArm(cfg, a.name, a.backend, a.transport, a.batch, a.shards, a.stripes)
+		res, err := runServeArm(cfg, a.name, a.backend, a.transport, a.codec, a.batch, a.shards, a.stripes)
 		if err != nil {
 			return err
 		}
 		report.Arms = append(report.Arms, res)
+		last := &report.Arms[len(report.Arms)-1]
 		switch a.name {
 		case "http/per-id/single-lock":
 			baseline = res.IDsPerSec
 		case "http/batch/sharded":
 			headline = res.IDsPerSec
+			jsonHead = last
+		case "http/batch/sharded/wire=binary":
+			binHead = last
 		}
-		fmt.Printf("%-26s %9.0f ids/s  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms\n",
+		fmt.Printf("%-38s %9.0f ids/s  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms\n",
 			res.Arm, res.IDsPerSec, res.P50Ms, res.P95Ms, res.P99Ms)
-		fmt.Printf("%-26s %s\n", "", obsLine(res.Metrics))
+		fmt.Printf("%-38s %s\n", "", obsLine(res.Metrics))
 	}
 	if baseline > 0 {
 		report.Speedup = headline / baseline
 	}
 	fmt.Printf("speedup (http/batch/sharded vs http/per-id/single-lock): %.2fx\n", report.Speedup)
+	if jsonHead != nil && binHead != nil && jsonHead.IDsPerSec > 0 {
+		report.SpeedupWire = binHead.IDsPerSec / jsonHead.IDsPerSec
+		report.WireP99Delta = binHead.P99Ms - jsonHead.P99Ms
+		report.WireGatePages = 2 * wireGatePages
+		fmt.Printf("wire codec (http/batch/sharded): binary %.2fx json QPS, p99 %+.2fms\n",
+			report.SpeedupWire, report.WireP99Delta)
+	}
 
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"encoding/json"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"irs/internal/obs"
 	"irs/internal/topology"
 	"irs/internal/tsa"
+	"irs/internal/wire"
 )
 
 // The -topology harness measures the tradeoff the multi-tier
@@ -69,6 +71,10 @@ type topologyConfig struct {
 	SamplePages  int // validated pages per edge per tick
 	Zipf         float64
 	Seed         int64
+	// Wire lists the codecs to run the resolution plane under (-wire);
+	// codec twins of an arm replay identical traffic, differing only in
+	// serialized bytes.
+	Wire []wire.Codec
 }
 
 // topologyArm is one measured configuration.
@@ -96,6 +102,13 @@ type topologyArm struct {
 	ResolveP95Ms  float64 `json:"resolve_p95_ms"`
 	PagesModelled float64 `json:"pages_modelled"`
 	PagesSampled  int     `json:"pages_sampled"`
+	// Resolution plane wire accounting: the codec every sampled
+	// StatusBatch round-trip was serialized under, the bytes that cost,
+	// and (IRSW1 arms) how many decoded proofs the in-sim gate verified
+	// byte-identical against the direct answer.
+	Wire             string `json:"wire"`
+	ResolveWireBytes uint64 `json:"resolve_wire_bytes"`
+	WireGateProofs   int    `json:"wire_gate_proofs,omitempty"`
 	// ReplicaGate records the StateHash equivalence check that ran
 	// before any replica read was timed.
 	ReplicaGate *topologyGate        `json:"replica_gate,omitempty"`
@@ -129,7 +142,11 @@ type topologyReport struct {
 	// equal availability.
 	OriginLoadReduction float64 `json:"origin_qps_reduction_tiered_vs_flat"`
 	AvailabilityDelta   float64 `json:"availability_delta_flat_minus_tiered"`
-	Note                string  `json:"note"`
+	// WireResolveBytesRatio compares resolution-plane bytes (JSON over
+	// IRSW1) at the baseline tiered interval, after the codec-twin gate
+	// confirmed identical decisions. Zero when only one codec ran.
+	WireResolveBytesRatio float64 `json:"wire_resolve_bytes_json_over_binary,omitempty"`
+	Note                  string  `json:"note"`
 }
 
 // baselineIntervalSec is the sync cadence of the flat arm and of the
@@ -215,6 +232,70 @@ func (w *wanLink) request(done func(err error, rtt time.Duration)) {
 	w.f.Request(func(err error) { done(err, w.sched.Now()-start) })
 }
 
+// wireResolve performs one StatusBatch resolution with the exchange
+// serialized under the arm's codec: the request and the response are
+// actually encoded, their bytes accounted to the resolution plane, and
+// under IRSW1 the response is decoded back with every proof required
+// byte-identical to the directly returned one — the sim's form of the
+// identical-results gate. Codec or gate failures panic (they are
+// harness invariant violations, not simulated faults); the returned
+// error is the backend query's.
+func wireResolve(codec wire.Codec, q func([]ids.PhotoID) ([]*ledger.StatusProof, error),
+	batch []ids.PhotoID, wireBytes *uint64, gateProofs *int) error {
+	if codec == wire.CodecBinary {
+		buf := wire.GetBuf()
+		defer wire.PutBuf(buf)
+		*buf = wire.EncodeStatusBatchReq((*buf)[:0], batch)
+		*wireBytes += uint64(len(*buf))
+		proofs, err := q(batch)
+		if err != nil {
+			return err
+		}
+		*buf = wire.EncodeStatusBatchResp((*buf)[:0], proofs)
+		*wireBytes += uint64(len(*buf))
+		kind, payload, derr := wire.DecodeMsg(*buf, wire.MaxFramePayload)
+		if derr != nil || kind != wire.MsgStatusBatchResp {
+			panic(fmt.Sprintf("topology: IRSW1 self-decode: kind %d err %v", kind, derr))
+		}
+		n, derr := wire.DecodeStatusBatchResp(payload, func(i int, raw []byte) error {
+			if !bytes.Equal(raw, proofs[i].Marshal()) {
+				return fmt.Errorf("proof %d differs from the direct answer", i)
+			}
+			return nil
+		})
+		if derr != nil || n != len(proofs) {
+			panic(fmt.Sprintf("topology: IRSW1 gate: n=%d err %v", n, derr))
+		}
+		*gateProofs += n
+		return nil
+	}
+	req := wire.StatusBatchRequest{IDs: make([]string, len(batch))}
+	for i, id := range batch {
+		req.IDs[i] = id.String()
+	}
+	doc, merr := json.Marshal(&req)
+	if merr != nil {
+		panic(fmt.Sprintf("topology: JSON request encode: %v", merr))
+	}
+	*wireBytes += uint64(len(doc))
+	proofs, err := q(batch)
+	if err != nil {
+		return err
+	}
+	resp := wire.StatusBatchResponse{Proofs: make([][]byte, len(proofs))}
+	for i, p := range proofs {
+		if p != nil {
+			resp.Proofs[i] = p.Marshal()
+		}
+	}
+	doc, merr = json.Marshal(&resp)
+	if merr != nil {
+		panic(fmt.Sprintf("topology: JSON response encode: %v", merr))
+	}
+	*wireBytes += uint64(len(doc))
+	return nil
+}
+
 // edgeSim is the per-edge serving state of one arm.
 type edgeSim struct {
 	fc       *topology.FilterCache
@@ -244,13 +325,20 @@ func (e *edgeSim) installCheck(now time.Duration, revs []revocationEvent, sample
 
 // runTopologyArm simulates one arm over the window. flat selects the
 // single-proxy baseline shape; intervalSec is the filter/replica sync
-// cadence of every hop.
-func runTopologyArm(cfg topologyConfig, intervalSec int, flat bool) (topologyArm, error) {
-	arm := topologyArm{IntervalSec: intervalSec}
+// cadence of every hop; codec is the serialization the resolution
+// plane is accounted (and, for IRSW1, gate-checked) under. The arm
+// seed deliberately excludes the codec, so codec twins replay
+// identical traffic and must land identical decisions.
+func runTopologyArm(cfg topologyConfig, intervalSec int, flat bool, codec wire.Codec) (topologyArm, error) {
+	arm := topologyArm{IntervalSec: intervalSec, Wire: codec.String()}
+	suffix := ""
+	if codec != wire.CodecJSON {
+		suffix = "/wire=" + codec.String()
+	}
 	if flat {
-		arm.Arm = "flat"
+		arm.Arm = "flat" + suffix
 	} else {
-		arm.Arm = fmt.Sprintf("tiered@%ds", intervalSec)
+		arm.Arm = fmt.Sprintf("tiered@%ds%s", intervalSec, suffix)
 	}
 	armSeed := cfg.Seed ^ int64(intervalSec)<<16
 	if flat {
@@ -300,7 +388,8 @@ func runTopologyArm(cfg topologyConfig, intervalSec int, flat bool) (topologyArm
 	// does not scale with browsers — that is the point).
 	var originReqs, replicaReqs float64
 	var servedW, totalW float64
-	var syncBytes uint64
+	var syncBytes, resolveWireBytes uint64
+	var gateProofs int
 	var staleness []float64
 	var resolveRTTs []time.Duration
 	lastCP := topology.Checkpoint{}
@@ -516,7 +605,7 @@ func runTopologyArm(cfg topologyConfig, intervalSec int, flat bool) (topologyArm
 					resolveRTTs = append(resolveRTTs, rtt)
 					if flat {
 						originReqs += w
-						if _, qerr := origin.L.StatusBatch(batch); qerr == nil {
+						if qerr := wireResolve(codec, origin.L.StatusBatch, batch, &resolveWireBytes, &gateProofs); qerr == nil {
 							servedW += w
 						}
 						return
@@ -525,7 +614,7 @@ func runTopologyArm(cfg topologyConfig, intervalSec int, flat bool) (topologyArm
 						return // gate: un-verified replicas serve nothing
 					}
 					replicaReqs += w
-					if _, qerr := replica.L.StatusBatch(batch); qerr == nil {
+					if qerr := wireResolve(codec, replica.L.StatusBatch, batch, &resolveWireBytes, &gateProofs); qerr == nil {
 						servedW += w
 					}
 				})
@@ -544,6 +633,8 @@ func runTopologyArm(cfg topologyConfig, intervalSec int, flat bool) (topologyArm
 		arm.Availability = servedW / totalW
 	}
 	arm.SyncBytes = syncBytes
+	arm.ResolveWireBytes = resolveWireBytes
+	arm.WireGateProofs = gateProofs
 	arm.PagesModelled = totalW
 	arm.PagesSampled = nEdges * cfg.SamplePages * cfg.WindowSec
 	if len(staleness) > 0 {
@@ -586,37 +677,81 @@ func runTopology(cfg topologyConfig) error {
 		Revokes:      cfg.Revokes,
 	}
 
-	flatArm, err := runTopologyArm(cfg, baselineIntervalSec, true)
+	codecs := cfg.Wire
+	if len(codecs) == 0 {
+		codecs = []wire.Codec{wire.CodecJSON}
+	}
+
+	// runSet runs one shape under every requested codec and gates the
+	// codec twins against each other: same seed, same traffic, so any
+	// decision-level divergence means a codec changed behavior. Returns
+	// the index of the first codec's arm in report.Arms.
+	runSet := func(intervalSec int, flat bool) (int, error) {
+		first := -1
+		for _, codec := range codecs {
+			arm, err := runTopologyArm(cfg, intervalSec, flat, codec)
+			if err != nil {
+				return -1, err
+			}
+			fmt.Printf("topology: %-24s origin %8.2f qps  replica %8.2f qps  avail %.4f  staleness p95 %6.1fs  resolve %8d B\n",
+				arm.Arm, arm.OriginQPS, arm.ReplicaQPS, arm.Availability, arm.StalenessP95Sec, arm.ResolveWireBytes)
+			report.Arms = append(report.Arms, arm)
+			if first < 0 {
+				first = len(report.Arms) - 1
+				continue
+			}
+			ref := report.Arms[first]
+			if arm.Availability != ref.Availability || arm.OriginRequests != ref.OriginRequests ||
+				arm.ReplicaQPS != ref.ReplicaQPS || arm.StalenessSamples != ref.StalenessSamples {
+				return -1, fmt.Errorf("topology: codec twins diverge: %s vs %s", arm.Arm, ref.Arm)
+			}
+		}
+		return first, nil
+	}
+
+	flatIdx, err := runSet(baselineIntervalSec, true)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("topology: %-12s origin %8.2f qps  avail %.4f  staleness p95 %6.1fs\n",
-		flatArm.Arm, flatArm.OriginQPS, flatArm.Availability, flatArm.StalenessP95Sec)
-	report.Arms = append(report.Arms, flatArm)
 
-	var baselineTiered *topologyArm
+	baselineTiered := -1
 	for _, iv := range cfg.Intervals {
-		arm, err := runTopologyArm(cfg, iv, false)
+		idx, err := runSet(iv, false)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("topology: %-12s origin %8.2f qps  replica %8.2f qps  avail %.4f  staleness p95 %6.1fs\n",
-			arm.Arm, arm.OriginQPS, arm.ReplicaQPS, arm.Availability, arm.StalenessP95Sec)
-		report.Arms = append(report.Arms, arm)
-		if iv == baselineIntervalSec {
-			baselineTiered = &report.Arms[len(report.Arms)-1]
+		if baselineTiered < 0 || iv == baselineIntervalSec {
+			baselineTiered = idx
 		}
 	}
-	if baselineTiered == nil && len(report.Arms) > 1 {
-		baselineTiered = &report.Arms[1]
+	flatArm := report.Arms[flatIdx]
+	if baselineTiered >= 0 && report.Arms[baselineTiered].OriginQPS > 0 {
+		report.OriginLoadReduction = flatArm.OriginQPS / report.Arms[baselineTiered].OriginQPS
+		report.AvailabilityDelta = flatArm.Availability - report.Arms[baselineTiered].Availability
 	}
-	if baselineTiered != nil && baselineTiered.OriginQPS > 0 {
-		report.OriginLoadReduction = flatArm.OriginQPS / baselineTiered.OriginQPS
-		report.AvailabilityDelta = flatArm.Availability - baselineTiered.Availability
+	if baselineTiered >= 0 {
+		var jsonBytes, binBytes uint64
+		for _, a := range report.Arms {
+			if a.IntervalSec != report.Arms[baselineTiered].IntervalSec || a.ReplicaQPS == 0 {
+				continue
+			}
+			switch a.Wire {
+			case "json":
+				jsonBytes = a.ResolveWireBytes
+			case "binary":
+				binBytes = a.ResolveWireBytes
+			}
+		}
+		if jsonBytes > 0 && binBytes > 0 {
+			report.WireResolveBytesRatio = float64(jsonBytes) / float64(binBytes)
+			fmt.Printf("topology: resolution plane: IRSW1 moves %.2fx fewer bytes than JSON at the baseline interval\n",
+				report.WireResolveBytesRatio)
+		}
 	}
 	report.Note = "virtual-time netsim run; browsers modelled in aggregate (sampled pages weighted to the " +
 		"full arrival rate); origin_qps counts every request reaching the origin ledger; tiered arms gate " +
-		"replica reads on StateHash equivalence with a signed origin checkpoint before timing"
+		"replica reads on StateHash equivalence with a signed origin checkpoint before timing; wire codec " +
+		"twins replay identical traffic and are gated on identical decisions with byte-identical proofs"
 
 	f, err := os.Create(cfg.Out)
 	if err != nil {

@@ -73,11 +73,26 @@ func (p *StatusProof) Displayable() bool { return p.State == StateActive }
 
 // Marshal encodes the proof for wire transport.
 func (p *StatusProof) Marshal() []byte {
-	c := p.canonical()
-	out := make([]byte, 0, len(c)+len(p.Sig))
-	out = append(out, c...)
-	out = append(out, p.Sig...)
-	return out
+	return p.AppendMarshal(make([]byte, 0, MarshaledProofSize))
+}
+
+// MarshaledProofSize is the exact encoded size of a signed proof:
+// magic + id + state + timestamp + Ed25519 signature.
+const MarshaledProofSize = 14 + 16 + 1 + 8 + ed25519.SignatureSize
+
+// AppendMarshal appends the wire encoding of the proof to dst and
+// returns the extended slice — the allocation-free form of Marshal for
+// the binary serving path, which encodes whole proof batches into one
+// pooled buffer.
+func (p *StatusProof) AppendMarshal(dst []byte) []byte {
+	dst = append(dst, "irs-status-v1:"...)
+	b := p.ID.Bytes()
+	dst = append(dst, b[:]...)
+	dst = append(dst, byte(p.State))
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(p.IssuedAt.UnixNano()))
+	dst = append(dst, ts[:]...)
+	return append(dst, p.Sig...)
 }
 
 // UnmarshalProof decodes a proof produced by Marshal.

@@ -5,11 +5,14 @@ import (
 
 	"irs/internal/ids"
 	"irs/internal/ledger"
+	"irs/internal/obs"
 	"irs/internal/wire"
 )
 
 // Server exposes a Validator over HTTP — the service a browser
-// extension points at.
+// extension points at. Like the ledger's wire.Server it speaks both
+// codecs on the hot routes: JSON always, IRSW1 when the request asks
+// for it, advertised on every response via X-IRS-Wire.
 //
 //	GET  /v1/validate?id=I  → ValidateResponse
 //	POST /v1/validate/batch → ValidateBatchResponse (page-load fan-in)
@@ -19,6 +22,10 @@ type Server struct {
 	v   *Validator
 	dir *wire.Directory
 	mux *http.ServeMux
+	// codecCtr/txBytes split hot-route responses by encoding: index 0
+	// JSON, 1 IRSW1.
+	codecCtr [2]*obs.Counter
+	txBytes  [2]*obs.Counter
 }
 
 // ValidateResponse is the proxy's answer to a browser.
@@ -54,14 +61,49 @@ func NewServer(cfg Config, dir *wire.Directory) *Server {
 	s.mux.HandleFunc("POST /v1/validate/batch", s.handleValidateBatch)
 	s.mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	reg := s.v.Registry()
+	for i, name := range [2]string{"json", "binary"} {
+		l := obs.L("codec", name)
+		s.codecCtr[i] = reg.Counter("irs_proxy_server_codec_total", l)
+		s.txBytes[i] = reg.Counter("irs_proxy_server_tx_bytes_total", l)
+	}
 	return s
+}
+
+// observeCodec records one hot-route response's encoding; n < 0 means
+// the byte count is unknown.
+func (s *Server) observeCodec(binary bool, n int) {
+	i := 0
+	if binary {
+		i = 1
+	}
+	s.codecCtr[i].Inc()
+	if n >= 0 {
+		s.txBytes[i].Add(uint64(n))
+	}
+}
+
+// writeBinary writes one IRSW1 response frame built by encode into a
+// pooled buffer.
+func (s *Server) writeBinary(w http.ResponseWriter, encode func(dst []byte) []byte) {
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	*bp = encode(*bp)
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	w.WriteHeader(http.StatusOK)
+	n, _ := w.Write(*bp)
+	s.observeCodec(true, n)
 }
 
 // Validator exposes the core for tests and operators.
 func (s *Server) Validator() *Validator { return s.v }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every response advertises IRSW1
+// support so binary-preferring extensions upgrade after first contact.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(wire.WireHeader, wire.WireV1)
+	s.mux.ServeHTTP(w, r)
+}
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	id, err := ids.Parse(r.URL.Query().Get("id"))
@@ -78,6 +120,14 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		wire.WriteError(w, http.StatusBadGateway, err.Error())
 		return
 	}
+	if wire.AcceptsBinary(r) {
+		s.writeBinary(w, func(dst []byte) []byte {
+			return wire.EncodeValidateResp(dst, byte(res.State), byte(res.Source),
+				res.State == ledger.StateActive, res.Proof)
+		})
+		return
+	}
+	s.observeCodec(false, -1)
 	resp := &ValidateResponse{
 		State:       res.State.String(),
 		Source:      res.Source.String(),
@@ -101,27 +151,37 @@ type ValidateBatchResponse struct {
 }
 
 func (s *Server) handleValidateBatch(w http.ResponseWriter, r *http.Request) {
-	var req ValidateBatchRequest
-	if err := wire.ReadJSON(r.Body, &req); err != nil {
-		wire.WriteError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if len(req.IDs) == 0 {
-		wire.WriteError(w, http.StatusBadRequest, "batch must name at least one id")
-		return
-	}
-	if len(req.IDs) > wire.MaxStatusBatch {
-		wire.WriteError(w, http.StatusBadRequest, "batch exceeds limit")
-		return
-	}
-	batch := make([]ids.PhotoID, len(req.IDs))
-	for i, raw := range req.IDs {
-		id, err := ids.Parse(raw)
+	var batch []ids.PhotoID
+	if wire.IsBinaryContent(r.Header.Get("Content-Type")) {
+		var err error
+		batch, err = wire.ReadBinaryBatch(r.Body, wire.MsgValidateBatchReq)
 		if err != nil {
 			wire.WriteError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		batch[i] = id
+	} else {
+		var req ValidateBatchRequest
+		if err := wire.ReadJSON(r.Body, &req); err != nil {
+			wire.WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if len(req.IDs) == 0 {
+			wire.WriteError(w, http.StatusBadRequest, "batch must name at least one id")
+			return
+		}
+		if len(req.IDs) > wire.MaxStatusBatch {
+			wire.WriteError(w, http.StatusBadRequest, "batch exceeds limit")
+			return
+		}
+		batch = make([]ids.PhotoID, len(req.IDs))
+		for i, raw := range req.IDs {
+			id, err := ids.Parse(raw)
+			if err != nil {
+				wire.WriteError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			batch[i] = id
+		}
 	}
 	results, err := s.v.ValidateBatch(batch)
 	if err != nil {
@@ -132,6 +192,18 @@ func (s *Server) handleValidateBatch(w http.ResponseWriter, r *http.Request) {
 		wire.WriteError(w, http.StatusBadGateway, err.Error())
 		return
 	}
+	if wire.AcceptsBinary(r) {
+		s.writeBinary(w, func(dst []byte) []byte {
+			return wire.EncodeValidateBatchResp(dst, len(results),
+				func(i int) (byte, byte, bool, *ledger.StatusProof) {
+					res := results[i]
+					return byte(res.State), byte(res.Source),
+						res.State == ledger.StateActive, res.Proof
+				})
+		})
+		return
+	}
+	s.observeCodec(false, -1)
 	resp := &ValidateBatchResponse{Results: make([]ValidateResponse, len(results))}
 	for i, res := range results {
 		resp.Results[i] = ValidateResponse{

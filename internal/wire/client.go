@@ -14,6 +14,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"irs/internal/bloom"
@@ -43,13 +44,35 @@ type ClientOptions struct {
 	// result-class counters (irs_wire_client_*) in the given registry.
 	// nil disables client instrumentation at zero per-call cost.
 	Obs *obs.Registry
+	// Codec selects the hot-RPC encoding. CodecJSON (the zero value)
+	// speaks the compatibility protocol everywhere; CodecBinary
+	// advertises IRSW1 on Status/StatusBatch/FilterSync and upgrades
+	// request bodies once the server has been seen to speak it. The
+	// choice is invisible to callers: same Service surface, same
+	// results, same error classification.
+	Codec Codec
+}
+
+// NewTransport returns the http.Transport the package's clients use
+// when the caller does not supply one: DefaultTransport semantics with
+// the idle pool sized for grouped batch fan-out. The stock
+// MaxIdleConnsPerHost of 2 makes a proxy running 8+ batch workers
+// against one ledger discard most connections at return time, paying a
+// fresh TCP handshake per page; the serving path keeps every worker's
+// connection warm instead.
+func NewTransport() *http.Transport {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 64
+	tr.IdleConnTimeout = 90 * time.Second
+	return tr
 }
 
 // clientRPCs is the fixed RPC name set; instruments are interned once
 // per client at construction, never per call.
 var clientRPCs = []string{
 	"claim", "op", "status", "status_batch", "seq",
-	"keys", "filter", "filter_delta", "admin_revoke",
+	"keys", "filter", "filter_delta", "filter_sync", "admin_revoke",
 }
 
 // rpcInstruments is one RPC's pre-interned series.
@@ -62,6 +85,11 @@ type rpcInstruments struct {
 // disabled state.
 type clientObs struct {
 	rpcs map[string]*rpcInstruments
+	// codec[0] counts responses decoded as JSON, codec[1] as IRSW1;
+	// rxBytes mirrors that split for response payload bytes where the
+	// size is known (always, for binary).
+	codec   [2]*obs.Counter
+	rxBytes [2]*obs.Counter
 }
 
 func newClientObs(reg *obs.Registry) *clientObs {
@@ -75,7 +103,28 @@ func newClientObs(reg *obs.Registry) *clientObs {
 			transport: reg.Counter("irs_wire_client_requests_total", l, obs.L("class", "transport")),
 		}
 	}
+	for i, name := range [2]string{"json", "binary"} {
+		l := obs.L("codec", name)
+		co.codec[i] = reg.Counter("irs_wire_client_codec_total", l)
+		co.rxBytes[i] = reg.Counter("irs_wire_client_rx_bytes_total", l)
+	}
 	return co
+}
+
+// observeCodec records one decoded response's encoding and size; n < 0
+// means the size is unknown.
+func (co *clientObs) observeCodec(binary bool, n int) {
+	if co == nil {
+		return
+	}
+	i := 0
+	if binary {
+		i = 1
+	}
+	co.codec[i].Inc()
+	if n >= 0 {
+		co.rxBytes[i].Add(uint64(n))
+	}
 }
 
 // observe records one finished RPC. Classes: "ok" for a successful
@@ -143,6 +192,11 @@ type Client struct {
 	// obs holds the pre-interned per-RPC instruments; nil when the
 	// client was built without ClientOptions.Obs.
 	obs *clientObs
+	// codec is the preferred hot-RPC encoding; binOK records whether
+	// the server has advertised IRSW1 (pointer so WithContext copies
+	// share the negotiation state).
+	codec Codec
+	binOK *atomic.Bool
 }
 
 // NewClient creates a client for the ledger at base (e.g.
@@ -156,7 +210,7 @@ func NewClient(base string, adminToken string) *Client {
 func NewClientOpts(base string, adminToken string, opts ClientOptions) *Client {
 	hc := opts.HTTPClient
 	if hc == nil {
-		hc = &http.Client{}
+		hc = &http.Client{Transport: NewTransport()}
 	}
 	timeout := opts.Timeout
 	if timeout == 0 {
@@ -166,7 +220,25 @@ func NewClientOpts(base string, adminToken string, opts ClientOptions) *Client {
 	if opts.Obs != nil {
 		co = newClientObs(opts.Obs)
 	}
-	return &Client{base: base, admin: adminToken, http: hc, timeout: timeout, obs: co}
+	return &Client{
+		base: base, admin: adminToken, http: hc, timeout: timeout, obs: co,
+		codec: opts.Codec, binOK: new(atomic.Bool),
+	}
+}
+
+// Codec reports the client's preferred hot-RPC encoding.
+func (c *Client) Codec() Codec { return c.codec }
+
+// acceptValue is the Accept header a binary-preferring client sends:
+// IRSW1 first, JSON as the declared fallback.
+const acceptValue = ContentTypeBinary + ", " + ContentTypeJSON
+
+// noteWire records the server's codec advertisement; once a response
+// has carried it, request bodies may be encoded in IRSW1.
+func (c *Client) noteWire(r *http.Response) {
+	if r.Header.Get(WireHeader) == WireV1 {
+		c.binOK.Store(true)
+	}
 }
 
 // Base returns the base URL the client targets.
@@ -223,6 +295,7 @@ func (c *Client) postJSON(rpc, path string, req, resp any, headers map[string]st
 	if err != nil {
 		return fmt.Errorf("wire: POST %s: %w", path, transportErr(err))
 	}
+	c.obs.observeCodec(false, int(r.ContentLength))
 	return decodeResponse(r, resp)
 }
 
@@ -240,7 +313,173 @@ func (c *Client) getJSON(rpc, path string, resp any) (err error) {
 	if err != nil {
 		return fmt.Errorf("wire: GET %s: %w", path, transportErr(err))
 	}
+	c.obs.observeCodec(false, int(r.ContentLength))
 	return decodeResponse(r, resp)
+}
+
+// frameErr classifies a frame decode failure: a truncated or CRC-bad
+// frame is indistinguishable from bytes lost in flight, so it becomes
+// a TransportError and the retry layer's idempotency rules decide
+// whether to replay. Anything else passes through unchanged.
+func frameErr(err error) error {
+	if errors.Is(err, ErrFrameTruncated) || errors.Is(err, ErrFrameCorrupt) {
+		return &TransportError{Err: err}
+	}
+	return err
+}
+
+// drainClose empties (bounded) and closes a response body so the
+// connection stays reusable; the binary paths share decodeResponse's
+// keep-alive contract.
+func drainClose(body io.ReadCloser, limit int64) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, limit))
+	body.Close()
+}
+
+// readBodyPooled drains r into a pooled buffer. Steady state this
+// allocates nothing: the buffer grows to the largest response seen and
+// is then reused. A body exceeding max is a truncation-class transport
+// failure (the peer is not speaking our protocol bounds).
+func readBodyPooled(r io.Reader, max int) (*[]byte, error) {
+	bp := GetBuf()
+	b := *bp
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if len(b) > max {
+			*bp = b
+			PutBuf(bp)
+			return nil, ErrFrameCorrupt
+		}
+		if err == io.EOF {
+			*bp = b
+			return bp, nil
+		}
+		if err != nil {
+			*bp = b
+			PutBuf(bp)
+			return nil, err
+		}
+	}
+}
+
+// getBinary issues a GET advertising IRSW1 and dispatches the response
+// to exactly one decoder by Content-Type. onBinary receives the whole
+// framed body in a pooled buffer, valid only during the call; onJSON
+// is the compatibility path and receives the open response (it must
+// fully consume the body, e.g. via decodeResponse).
+func (c *Client) getBinary(rpc, path string, maxResp int, onBinary func(body []byte) error, onJSON func(r *http.Response) error) (err error) {
+	if c.obs != nil {
+		start := time.Now()
+		defer func() { c.obs.observe(rpc, start, err) }()
+	}
+	hr, cancel, err := c.newRequest(http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	hr.Header.Set("Accept", acceptValue)
+	r, err := c.http.Do(hr)
+	if err != nil {
+		return fmt.Errorf("wire: GET %s: %w", path, transportErr(err))
+	}
+	c.noteWire(r)
+	if r.StatusCode/100 != 2 {
+		return decodeResponse(r, nil)
+	}
+	if !IsBinaryContent(r.Header.Get("Content-Type")) {
+		c.obs.observeCodec(false, int(r.ContentLength))
+		return onJSON(r)
+	}
+	defer drainClose(r.Body, int64(maxResp))
+	bp, rerr := readBodyPooled(r.Body, maxResp)
+	if rerr != nil {
+		return fmt.Errorf("wire: GET %s: %w", path, transportErr(rerr))
+	}
+	defer PutBuf(bp)
+	c.obs.observeCodec(true, len(*bp))
+	if derr := onBinary(*bp); derr != nil {
+		return fmt.Errorf("wire: GET %s: %w", path, derr)
+	}
+	return nil
+}
+
+// postNegotiated runs one body-bearing hot RPC under codec
+// negotiation. jsonReq builds the fallback request value (called only
+// when a JSON body is actually sent); encodeBinary appends the IRSW1
+// request frame. The request body is binary only once the server has
+// advertised IRSW1; if a rolled-back server then rejects a binary body
+// with a 4xx and no advertisement, the call is retried once re-encoded
+// as JSON — safe regardless of idempotency, because the old server
+// refused the body at parse time, before any state change.
+func (c *Client) postNegotiated(rpc, path string, jsonReq func() any, encodeBinary func(dst []byte) []byte, onBinary func(body []byte) error, onJSON func(r *http.Response) error) error {
+	sendBinary := c.binOK.Load()
+	advertised, err := c.postOnce(rpc, path, jsonReq, encodeBinary, sendBinary, onBinary, onJSON)
+	if sendBinary && !advertised {
+		var we *Error
+		if errors.As(err, &we) && we.Code >= 400 && we.Code < 500 {
+			c.binOK.Store(false)
+			_, err = c.postOnce(rpc, path, jsonReq, encodeBinary, false, onBinary, onJSON)
+		}
+	}
+	return err
+}
+
+// postOnce performs one negotiated POST exchange, reporting whether
+// the response advertised IRSW1 alongside the call's outcome.
+func (c *Client) postOnce(rpc, path string, jsonReq func() any, encodeBinary func(dst []byte) []byte, sendBinary bool, onBinary func(body []byte) error, onJSON func(r *http.Response) error) (advertised bool, err error) {
+	if c.obs != nil {
+		start := time.Now()
+		defer func() { c.obs.observe(rpc, start, err) }()
+	}
+	var body []byte
+	ct := ContentTypeJSON
+	if sendBinary {
+		bp := GetBuf()
+		defer PutBuf(bp)
+		*bp = encodeBinary(*bp)
+		body = *bp
+		ct = ContentTypeBinary
+	} else {
+		body, err = json.Marshal(jsonReq())
+		if err != nil {
+			return false, fmt.Errorf("wire: encoding request: %w", err)
+		}
+	}
+	hr, cancel, err := c.newRequest(http.MethodPost, path, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer cancel()
+	hr.Header.Set("Content-Type", ct)
+	hr.Header.Set("Accept", acceptValue)
+	r, err := c.http.Do(hr)
+	if err != nil {
+		return false, fmt.Errorf("wire: POST %s: %w", path, transportErr(err))
+	}
+	advertised = r.Header.Get(WireHeader) == WireV1
+	c.noteWire(r)
+	if r.StatusCode/100 != 2 {
+		return advertised, decodeResponse(r, nil)
+	}
+	if !IsBinaryContent(r.Header.Get("Content-Type")) {
+		c.obs.observeCodec(false, int(r.ContentLength))
+		return advertised, onJSON(r)
+	}
+	defer drainClose(r.Body, maxBody)
+	bp, rerr := readBodyPooled(r.Body, maxBody)
+	if rerr != nil {
+		return advertised, fmt.Errorf("wire: POST %s: %w", path, transportErr(rerr))
+	}
+	defer PutBuf(bp)
+	c.obs.observeCodec(true, len(*bp))
+	if derr := onBinary(*bp); derr != nil {
+		return advertised, fmt.Errorf("wire: POST %s: %w", path, derr)
+	}
+	return advertised, nil
 }
 
 // Claim registers a photo and returns the receipt.
@@ -267,11 +506,51 @@ func (c *Client) Apply(id ids.PhotoID, op ledger.Op, seq uint64, sig []byte) err
 
 // Status validates a claim, returning the parsed signed proof.
 func (c *Client) Status(id ids.PhotoID) (*ledger.StatusProof, error) {
-	var resp StatusResponse
-	if err := c.getJSON("status", "/v1/status?id="+url.QueryEscape(id.String()), &resp); err != nil {
+	path := "/v1/status?id=" + url.QueryEscape(id.String())
+	if c.codec != CodecBinary {
+		var resp StatusResponse
+		if err := c.getJSON("status", path, &resp); err != nil {
+			return nil, err
+		}
+		return ledger.UnmarshalProof(resp.Proof)
+	}
+	var proof *ledger.StatusProof
+	err := c.getBinary("status", path, maxBody,
+		func(body []byte) error {
+			kind, payload, err := DecodeMsg(body, MaxFramePayload)
+			if err != nil {
+				return frameErr(err)
+			}
+			if kind != MsgStatusResp {
+				return frameErr(ErrFrameCorrupt)
+			}
+			raw, err := DecodeStatusResp(payload)
+			if err != nil {
+				return frameErr(err)
+			}
+			p, perr := ledger.UnmarshalProof(raw)
+			if perr != nil {
+				return perr
+			}
+			proof = p
+			return nil
+		},
+		func(r *http.Response) error {
+			var resp StatusResponse
+			if err := decodeResponse(r, &resp); err != nil {
+				return err
+			}
+			p, perr := ledger.UnmarshalProof(resp.Proof)
+			if perr != nil {
+				return perr
+			}
+			proof = p
+			return nil
+		})
+	if err != nil {
 		return nil, err
 	}
-	return ledger.UnmarshalProof(resp.Proof)
+	return proof, nil
 }
 
 // StatusBatch validates up to MaxStatusBatch claims in one POST,
@@ -285,29 +564,92 @@ func (c *Client) StatusBatch(batch []ids.PhotoID) ([]*ledger.StatusProof, error)
 	if len(batch) > MaxStatusBatch {
 		return nil, fmt.Errorf("wire: batch of %d exceeds limit %d", len(batch), MaxStatusBatch)
 	}
-	req := &StatusBatchRequest{IDs: make([]string, len(batch))}
-	for i, id := range batch {
-		req.IDs[i] = id.String()
-	}
-	var resp StatusBatchResponse
-	if err := c.postJSON("status_batch", "/v1/status/batch", req, &resp, nil); err != nil {
-		return nil, err
-	}
-	if len(resp.Proofs) != len(batch) {
-		return nil, fmt.Errorf("wire: server returned %d proofs for %d ids", len(resp.Proofs), len(batch))
+	if c.codec != CodecBinary {
+		req := &StatusBatchRequest{IDs: make([]string, len(batch))}
+		for i, id := range batch {
+			req.IDs[i] = id.String()
+		}
+		var resp StatusBatchResponse
+		if err := c.postJSON("status_batch", "/v1/status/batch", req, &resp, nil); err != nil {
+			return nil, err
+		}
+		proofs := make([]*ledger.StatusProof, len(batch))
+		if err := fillProofs(batch, resp.Proofs, proofs); err != nil {
+			return nil, err
+		}
+		return proofs, nil
 	}
 	proofs := make([]*ledger.StatusProof, len(batch))
-	for i, raw := range resp.Proofs {
-		p, err := ledger.UnmarshalProof(raw)
-		if err != nil {
-			return nil, fmt.Errorf("wire: server returned bad proof %d: %w", i, err)
-		}
-		if p.ID != batch[i] {
-			return nil, fmt.Errorf("wire: proof %d attests %s, want %s", i, p.ID, batch[i])
-		}
-		proofs[i] = p
+	err := c.postNegotiated("status_batch", "/v1/status/batch",
+		func() any {
+			req := &StatusBatchRequest{IDs: make([]string, len(batch))}
+			for i, id := range batch {
+				req.IDs[i] = id.String()
+			}
+			return req
+		},
+		func(dst []byte) []byte { return EncodeStatusBatchReq(dst, batch) },
+		func(body []byte) error {
+			kind, payload, err := DecodeMsg(body, MaxFramePayload)
+			if err != nil {
+				return frameErr(err)
+			}
+			if kind != MsgStatusBatchResp {
+				return frameErr(ErrFrameCorrupt)
+			}
+			n, err := DecodeStatusBatchResp(payload, func(i int, raw []byte) error {
+				if i >= len(batch) {
+					return fmt.Errorf("wire: server returned more proofs than the %d requested", len(batch))
+				}
+				return checkProof(batch, i, raw, proofs)
+			})
+			if err != nil {
+				return frameErr(err)
+			}
+			if n != len(batch) {
+				return fmt.Errorf("wire: server returned %d proofs for %d ids", n, len(batch))
+			}
+			return nil
+		},
+		func(r *http.Response) error {
+			var resp StatusBatchResponse
+			if err := decodeResponse(r, &resp); err != nil {
+				return err
+			}
+			return fillProofs(batch, resp.Proofs, proofs)
+		})
+	if err != nil {
+		return nil, err
 	}
 	return proofs, nil
+}
+
+// checkProof parses one raw proof, rejects it unless it attests the
+// identifier it was asked about, and stores it at index i.
+func checkProof(batch []ids.PhotoID, i int, raw []byte, out []*ledger.StatusProof) error {
+	p, err := ledger.UnmarshalProof(raw)
+	if err != nil {
+		return fmt.Errorf("wire: server returned bad proof %d: %w", i, err)
+	}
+	if p.ID != batch[i] {
+		return fmt.Errorf("wire: proof %d attests %s, want %s", i, p.ID, batch[i])
+	}
+	out[i] = p
+	return nil
+}
+
+// fillProofs validates a JSON batch response's proofs against the
+// request and parses them into out.
+func fillProofs(batch []ids.PhotoID, raws [][]byte, out []*ledger.StatusProof) error {
+	if len(raws) != len(batch) {
+		return fmt.Errorf("wire: server returned %d proofs for %d ids", len(raws), len(batch))
+	}
+	for i, raw := range raws {
+		if err := checkProof(batch, i, raw, out); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Seq fetches the current operation sequence for owner-side signing.
@@ -393,11 +735,57 @@ func (c *Client) FilterDelta(from uint64) (delta []byte, latest uint64, err erro
 func (c *Client) FilterSync(from uint64, baseHash []byte) (payload []byte, latest uint64, err error) {
 	path := "/v1/filter/sync?from=" + strconv.FormatUint(from, 10) +
 		"&base=" + hex.EncodeToString(baseHash)
-	payload, latest, err = c.getRaw("filter_sync", path)
-	if err == nil && len(payload) == 0 {
-		payload = nil
+	if c.codec != CodecBinary {
+		payload, latest, err = c.getRaw("filter_sync", path)
+		if err == nil && len(payload) == 0 {
+			payload = nil
+		}
+		return payload, latest, err
 	}
-	return payload, latest, err
+	err = c.getBinary("filter_sync", path, maxFilterBytes,
+		func(body []byte) error {
+			kind, p, err := DecodeMsg(body, maxFilterBytes)
+			if err != nil {
+				return frameErr(err)
+			}
+			if kind != MsgFilterSyncResp {
+				return frameErr(ErrFrameCorrupt)
+			}
+			lat, upd, err := DecodeFilterSyncResp(p)
+			if err != nil {
+				return frameErr(err)
+			}
+			latest = lat
+			if len(upd) > 0 {
+				// upd aliases the pooled decode buffer; the sync payload
+				// outlives this call.
+				payload = append([]byte(nil), upd...)
+			}
+			return nil
+		},
+		func(r *http.Response) error {
+			// Compatibility shape: raw octet-stream body, epoch in the
+			// X-IRS-Epoch header.
+			epoch, perr := strconv.ParseUint(r.Header.Get("X-IRS-Epoch"), 10, 64)
+			if perr != nil {
+				drainClose(r.Body, maxBody)
+				return fmt.Errorf("wire: missing epoch header on %s", path)
+			}
+			raw, rerr := io.ReadAll(io.LimitReader(r.Body, maxFilterBytes))
+			r.Body.Close()
+			if rerr != nil {
+				return transportErr(rerr)
+			}
+			latest = epoch
+			if len(raw) > 0 {
+				payload = raw
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, latest, nil
 }
 
 // PermanentRevoke invokes the admin endpoint; the client must have been

@@ -2,12 +2,14 @@ package wire
 
 import (
 	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/http/httptrace"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"irs/internal/ids"
@@ -96,5 +98,59 @@ func TestDirectoryRegisterRaces(t *testing.T) {
 	wg.Wait()
 	if len(d.All()) != 8 {
 		t.Errorf("directory holds %d ledgers, want 8", len(d.All()))
+	}
+}
+
+// TestKeepAliveReuseAtHighConcurrency pins the transport-pool
+// satellite: 8 workers hammering one host must keep their connections
+// warm between rounds. http.DefaultTransport's MaxIdleConnsPerHost of
+// 2 discards most of the pool at every round boundary, paying a fresh
+// dial per worker per round; NewTransport sizes the idle pool to the
+// batch fan-out so after warm-up no new connections are dialed.
+func TestKeepAliveReuseAtHighConcurrency(t *testing.T) {
+	const workers = 8
+	const rounds = 10
+
+	var conns atomic.Int64
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"seq":1,"state":"active"}`))
+	}))
+	srv.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	c := NewClient(srv.URL, "") // default transport: NewTransport()
+	runRound := func() {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				var resp SeqQueryResponse
+				if err := c.getJSON("seq", "/v1/seq?id=x", &resp); err != nil {
+					t.Errorf("request: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Warm-up may dial up to one connection per concurrent worker.
+	runRound()
+	warm := conns.Load()
+	if warm > workers {
+		t.Fatalf("warm-up dialed %d connections for %d workers", warm, workers)
+	}
+	for i := 0; i < rounds; i++ {
+		runRound()
+	}
+	if got := conns.Load(); got > warm {
+		t.Errorf("rounds after warm-up dialed %d extra connections; idle pool is not sized to the fan-out",
+			got-warm)
 	}
 }

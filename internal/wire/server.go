@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -15,7 +16,10 @@ import (
 )
 
 // Server adapts a ledger.Ledger to the HTTP protocol. Construct with
-// NewServer and mount it anywhere an http.Handler goes.
+// NewServer and mount it anywhere an http.Handler goes. The server
+// speaks both codecs: JSON everywhere, and IRSW1 on the hot routes
+// (status, status batch, filter sync) when the request asks for it,
+// advertising the capability on every response via X-IRS-Wire.
 type Server struct {
 	ledger *ledger.Ledger
 	// adminToken guards the permanent-revoke endpoint. Empty disables
@@ -23,6 +27,11 @@ type Server struct {
 	adminToken string
 	mux        *http.ServeMux
 	obsReg     *obs.Registry
+	// codecCtr/txBytes split hot-route responses by encoding:
+	// index 0 JSON, 1 IRSW1. Bytes are counted where the handler knows
+	// them (always, for binary frames).
+	codecCtr [2]*obs.Counter
+	txBytes  [2]*obs.Counter
 }
 
 // ServerOptions tunes the optional server surfaces.
@@ -53,6 +62,11 @@ func NewServerOpts(l *ledger.Ledger, adminToken string, opts ServerOptions) *Ser
 		reg = l.Registry()
 	}
 	s := &Server{ledger: l, adminToken: adminToken, mux: http.NewServeMux(), obsReg: reg}
+	for i, name := range [2]string{"json", "binary"} {
+		l := obs.L("codec", name)
+		s.codecCtr[i] = reg.Counter("irs_wire_server_codec_total", l)
+		s.txBytes[i] = reg.Counter("irs_wire_server_tx_bytes_total", l)
+	}
 	route := func(pattern, name string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.instrument(name, h))
 	}
@@ -98,6 +112,10 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// Advertised on every response — including errors — so a
+		// binary-preferring client learns after first contact that it
+		// may send IRSW1 request bodies.
+		w.Header().Set(WireHeader, WireV1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		lat.Observe(time.Since(start).Seconds())
@@ -114,6 +132,61 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// observeCodec records one hot-route response's encoding; n < 0 means
+// the byte count is unknown.
+func (s *Server) observeCodec(binary bool, n int) {
+	i := 0
+	if binary {
+		i = 1
+	}
+	s.codecCtr[i].Inc()
+	if n >= 0 {
+		s.txBytes[i].Add(uint64(n))
+	}
+}
+
+// writeBinary writes one IRSW1 response frame built by encode into a
+// pooled buffer — the steady-state zero-allocation server encode path.
+func (s *Server) writeBinary(w http.ResponseWriter, encode func(dst []byte) []byte) {
+	bp := GetBuf()
+	defer PutBuf(bp)
+	*bp = encode(*bp)
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.WriteHeader(http.StatusOK)
+	n, _ := w.Write(*bp)
+	s.observeCodec(true, n)
+}
+
+// ReadBinaryBatch parses an IRSW1 id-batch request body of the given
+// message kind (MsgStatusBatchReq here, MsgValidateBatchReq at the
+// proxy). A frame that does not parse is a client error (400),
+// mirroring the JSON validation failures.
+func ReadBinaryBatch(body io.Reader, wantKind byte) ([]ids.PhotoID, error) {
+	bp, err := readBodyPooled(body, maxBody)
+	if err != nil {
+		return nil, ErrFrameTruncated
+	}
+	defer PutBuf(bp)
+	kind, payload, err := DecodeMsg(*bp, MaxFramePayload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != wantKind {
+		return nil, ErrFrameCorrupt
+	}
+	var batch []ids.PhotoID
+	if _, err := decodeIDBatch(payload, func(i int, id ids.PhotoID) error {
+		if batch == nil {
+			batch = make([]ids.PhotoID, 0, MaxStatusBatch)
+		}
+		batch = append(batch, id)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return batch, nil
+}
 
 func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 	var req ClaimRequest
@@ -178,6 +251,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, statusFor(err), err.Error())
 		return
 	}
+	if AcceptsBinary(r) {
+		s.writeBinary(w, func(dst []byte) []byte { return EncodeStatusResp(dst, proof) })
+		return
+	}
+	s.observeCodec(false, -1)
 	WriteJSON(w, http.StatusOK, &StatusResponse{
 		State: proof.State.String(),
 		Proof: proof.Marshal(),
@@ -185,34 +263,49 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatusBatch(w http.ResponseWriter, r *http.Request) {
-	var req StatusBatchRequest
-	if err := ReadJSON(r.Body, &req); err != nil {
-		WriteError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if len(req.IDs) == 0 {
-		WriteError(w, http.StatusBadRequest, "batch must name at least one id")
-		return
-	}
-	if len(req.IDs) > MaxStatusBatch {
-		WriteError(w, http.StatusBadRequest,
-			fmt.Sprintf("batch of %d exceeds limit %d", len(req.IDs), MaxStatusBatch))
-		return
-	}
-	batch := make([]ids.PhotoID, len(req.IDs))
-	for i, raw := range req.IDs {
-		id, err := ids.Parse(raw)
+	var batch []ids.PhotoID
+	if IsBinaryContent(r.Header.Get("Content-Type")) {
+		var err error
+		batch, err = ReadBinaryBatch(r.Body, MsgStatusBatchReq)
 		if err != nil {
-			WriteError(w, http.StatusBadRequest, fmt.Sprintf("id %d: %v", i, err))
+			WriteError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		batch[i] = id
+	} else {
+		var req StatusBatchRequest
+		if err := ReadJSON(r.Body, &req); err != nil {
+			WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if len(req.IDs) == 0 {
+			WriteError(w, http.StatusBadRequest, "batch must name at least one id")
+			return
+		}
+		if len(req.IDs) > MaxStatusBatch {
+			WriteError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch of %d exceeds limit %d", len(req.IDs), MaxStatusBatch))
+			return
+		}
+		batch = make([]ids.PhotoID, len(req.IDs))
+		for i, raw := range req.IDs {
+			id, err := ids.Parse(raw)
+			if err != nil {
+				WriteError(w, http.StatusBadRequest, fmt.Sprintf("id %d: %v", i, err))
+				return
+			}
+			batch[i] = id
+		}
 	}
 	proofs, err := s.ledger.StatusBatch(batch)
 	if err != nil {
 		WriteError(w, statusFor(err), err.Error())
 		return
 	}
+	if AcceptsBinary(r) {
+		s.writeBinary(w, func(dst []byte) []byte { return EncodeStatusBatchResp(dst, proofs) })
+		return
+	}
+	s.observeCodec(false, -1)
 	resp := &StatusBatchResponse{Proofs: make([][]byte, len(proofs))}
 	for i, p := range proofs {
 		resp.Proofs[i] = p.Marshal()
@@ -288,6 +381,15 @@ func (s *Server) handleFilterSync(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, statusFor(err), err.Error())
 		return
 	}
+	if AcceptsBinary(r) {
+		// IRSW1 carries the epoch in-band and CRC-protects the update
+		// payload end to end; no epoch header round trip.
+		s.writeBinary(w, func(dst []byte) []byte {
+			return EncodeFilterSyncResp(dst, latest, payload)
+		})
+		return
+	}
+	s.observeCodec(false, len(payload))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-IRS-Epoch", strconv.FormatUint(latest, 10))
 	w.WriteHeader(http.StatusOK)

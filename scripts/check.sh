@@ -84,12 +84,27 @@ go test -race ./internal/obs
 go test -run='^$' -fuzz=FuzzPrometheusText -fuzztime=10s ./internal/obs
 go test -run='^$' -fuzz=FuzzHistogramObserve -fuzztime=10s ./internal/obs
 
+# IRSW1 binary wire codec: the codec roundtrip/negotiation suite, the
+# mixed-version compat pins (binary client vs JSON-only server and the
+# upgrade-then-rollback path, at both the wire and proxy layers), the
+# hostile-frame TransportError classification, and the keep-alive pool
+# sizing, all named under the race detector.
+go test -race -run 'Binary|ProxyClientCodecsAgree|ProxyClientAgainstLegacyProxy|KeepAliveReuseAtHighConcurrency' \
+    ./internal/wire ./internal/proxy
+
+# Fuzz the IRSW1 frame decoder (length prefix, CRC, per-kind payload
+# parsers): ten seconds over the seeded corpus plus fresh mutations.
+go test -run='^$' -fuzz=FuzzWireFrameDecode -fuzztime=10s ./internal/wire
+
 # Serving-path benchmarks compile and run once each (not timed here —
 # BENCH_serving.json is the committed artifact); then a tiny closed-loop
-# smoke of the load harness itself, kept out of the repo.
+# smoke of the load harness itself, kept out of the repo. The smoke runs
+# both wire codecs, so the identical-decisions-and-proofs gate and the
+# binary arms execute on every check.
 go test -run='^$' -bench=Serving -benchtime=1x ./internal/ledger ./internal/proxy
 go run ./cmd/irs-bench -serve -serve-out /tmp/irs_serve_smoke.json \
-    -serve-workers 2 -serve-ids 256 -serve-batch 16 -serve-pages 4
+    -serve-workers 2 -serve-ids 256 -serve-batch 16 -serve-pages 4 \
+    -wire json,binary
 
 # Chaos-arm smoke: a miniature outage run; the committed artifact is
 # BENCH_chaos.json (full scale, seed 42).
@@ -109,10 +124,12 @@ go run ./cmd/irs-bench -lookup -lookup-out /tmp/irs_lookup_smoke.json \
 go run ./cmd/irs-bench -upload -upload-out /tmp/irs_upload_smoke.json \
     -upload-batches 24 -upload-workers 1,4
 
-# Kernel-regression guard: the vectorized 8×8 DCT and the three
-# perceptual hashes must stay allocation-free on their hot paths; any
-# allocs/op > 0 here means a scratch pool or unrolled loop regressed.
-for pkg_bench in "./internal/dct BenchmarkDCT8x8" "./internal/phash BenchmarkPHash$"; do
+# Zero-alloc guard: the vectorized 8×8 DCT, the three perceptual
+# hashes, and the IRSW1 wire codec's server-encode and client-decode
+# hot paths must stay allocation-free; any allocs/op > 0 here means a
+# scratch pool, unrolled loop, or pooled codec buffer regressed.
+for pkg_bench in "./internal/dct BenchmarkDCT8x8" "./internal/phash BenchmarkPHash$" \
+    "./internal/wire BenchmarkStatusEncodeBinary" "./internal/wire BenchmarkStatusDecodeBinary"; do
     pkg=${pkg_bench% *}
     bench=${pkg_bench#* }
     out=$(go test -run='^$' -bench="$bench" -benchtime=10x -benchmem "$pkg")
