@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAdversaryQuickDeterministicAndGated runs the quick-scale
+// adversarial suite in-process and pins the properties the committed
+// BENCH_adversary.json relies on:
+//
+//   - every sub-arm is trace-stable (two same-seed runs produce
+//     identical decision hashes) — runAdversary errors otherwise;
+//   - every scheduling-independent decision gate holds at quick scale
+//     (the two wall-clock p99 ratio gates are machine-dependent and are
+//     only asserted by the full-scale enforced bench run);
+//   - the report round-trips through the JSON file the flag writes.
+func TestAdversaryQuickDeterministicAndGated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversary suite is a multi-second workload")
+	}
+	out := filepath.Join(t.TempDir(), "adv.json")
+	cfg, err := adversaryScale("quick", 42, out, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := runAdversary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, a := range report.Arms {
+		if !a.TraceStable {
+			t.Errorf("arm %s (control=%v) not trace-stable", a.Arm, a.Control)
+		}
+		if a.DecisionHash == "" {
+			t.Errorf("arm %s (control=%v) has no decision hash", a.Arm, a.Control)
+		}
+	}
+
+	// Decision gates: deterministic at any scale on any machine.
+	for _, gate := range []string{
+		"index_keyed_candidates_10x_below_unkeyed",
+		"herd_at_most_one_failure_per_wave",
+		"herd_collateral_unharmed",
+		"stampede_admission_benign_availability_99",
+		"stampede_admission_denies_flood",
+		"stampede_unthrottled_flood_degrades_benign",
+		"stampede_benign_twin_fully_served",
+		"race_conservation_and_no_dead_id_denials",
+	} {
+		ok, present := report.Gates[gate]
+		if !present {
+			t.Errorf("gate %s missing from report", gate)
+		} else if !ok {
+			t.Errorf("gate %s failed at quick scale", gate)
+		}
+	}
+	// The timing gates must at least be computed and recorded.
+	for _, gate := range []string{
+		"index_unkeyed_p99_degrades_10x",
+		"index_keyed_p99_within_2x_of_benign",
+	} {
+		if _, present := report.Gates[gate]; !present {
+			t.Errorf("timing gate %s missing from report", gate)
+		}
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report file not written: %v", err)
+	}
+	var onDisk advReport
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatalf("report file is not valid JSON: %v", err)
+	}
+	if len(onDisk.Arms) != len(report.Arms) {
+		t.Fatalf("file has %d arms, in-process report has %d", len(onDisk.Arms), len(report.Arms))
+	}
+	for i := range onDisk.Arms {
+		if onDisk.Arms[i].DecisionHash != report.Arms[i].DecisionHash {
+			t.Errorf("arm %s decision hash diverges between file and report", onDisk.Arms[i].Arm)
+		}
+	}
+}

@@ -86,6 +86,11 @@ func main() {
 		serveZipf    = flag.Float64("serve-zipf", 1.1, "Zipf s parameter for view popularity (>1)")
 		wireCodecs   = flag.String("wire", "json,binary", "comma-separated wire codecs for -serve and -topology arms (json|binary)")
 
+		adversary        = flag.Bool("adversary", false, "run the adversarial workload suite (seeded attacks + benign control twins)")
+		adversaryOut     = flag.String("adversary-out", "BENCH_adversary.json", "adversary report path")
+		adversaryScaleF  = flag.String("adversary-scale", "full", "adversary workload scale: quick or full")
+		adversaryEnforce = flag.Bool("adversary-enforce", true, "assert the wall-clock/availability envelope gates (decision gates always hold)")
+
 		chaos       = flag.Bool("chaos", false, "run the fault-injection arm of the serving harness")
 		chaosOut    = flag.String("chaos-out", "BENCH_chaos.json", "chaos report path")
 		chaosOutage = flag.Float64("chaos-outage", 0.1, "fraction of each worker's pages inside the ledger outage window")
@@ -263,6 +268,17 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "irs-bench: obs-compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *adversary {
+		cfg, err := adversaryScale(*adversaryScaleF, *seed, *adversaryOut, *adversaryEnforce)
+		if err == nil {
+			_, err = runAdversary(cfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irs-bench: adversary: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -401,12 +401,25 @@ func (a *Aggregator) UploadVideo(v *photo.Video) (UploadResult, error) {
 	return UploadResult{Accepted: true, ID: id}, nil
 }
 
+// snapshotHosted copies one hosted entry out under the read lock.
+// Entries are mutated in place by applyRecheck (proof, checkedAt), so
+// the serving paths must not hold a *hosted across an unlock — the
+// adversarial hammer's revalidate-vs-serve interleaving catches exactly
+// that torn read.
+func (a *Aggregator) snapshotHosted(id ids.PhotoID) (hosted, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	h, ok := a.photos[id]
+	if !ok {
+		return hosted{}, false
+	}
+	return *h, true
+}
+
 // ServeVideo returns a hosted video with the freshness proof in its
 // container metadata, revalidating stale proofs like Serve.
 func (a *Aggregator) ServeVideo(id ids.PhotoID) (*photo.Video, error) {
-	a.mu.RLock()
-	h, ok := a.photos[id]
-	a.mu.RUnlock()
+	h, ok := a.snapshotHosted(id)
 	if !ok || h.video == nil {
 		return nil, ErrNotHosted
 	}
@@ -414,10 +427,7 @@ func (a *Aggregator) ServeVideo(id ids.PhotoID) (*photo.Video, error) {
 		if err := a.revalidate(id); err != nil {
 			return nil, err
 		}
-		a.mu.RLock()
-		h, ok = a.photos[id]
-		a.mu.RUnlock()
-		if !ok {
+		if h, ok = a.snapshotHosted(id); !ok {
 			return nil, ErrTakenDown
 		}
 	}
@@ -436,9 +446,7 @@ var (
 // attached in metadata. If the held proof is older than ProofMaxAge the
 // photo is revalidated inline before serving.
 func (a *Aggregator) Serve(id ids.PhotoID) (*photo.Image, error) {
-	a.mu.RLock()
-	h, ok := a.photos[id]
-	a.mu.RUnlock()
+	h, ok := a.snapshotHosted(id)
 	if !ok {
 		return nil, ErrNotHosted
 	}
@@ -446,10 +454,7 @@ func (a *Aggregator) Serve(id ids.PhotoID) (*photo.Image, error) {
 		if err := a.revalidate(id); err != nil {
 			return nil, err
 		}
-		a.mu.RLock()
-		h, ok = a.photos[id]
-		a.mu.RUnlock()
-		if !ok {
+		if h, ok = a.snapshotHosted(id); !ok {
 			return nil, ErrTakenDown
 		}
 	}

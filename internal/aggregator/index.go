@@ -14,6 +14,13 @@ package aggregator
 //     distance of the probe matches at least one band to within its
 //     radius (with Bands = phash.NumBands = 11 the radii are all zero
 //     and the bands match exactly — the classic statement).
+//   - Before banding, each hash passes through a keyed
+//     distance-preserving mixer (phash.BandMixer, keyed at
+//     construction), so the bucket layout is unpredictable to
+//     uploaders: mass-producing signatures that pile into one band
+//     bucket — the bucket-density DoS the adversarial suite mounts —
+//     requires the key. Being an isometry, the mixer leaves every
+//     distance, and therefore every lookup result, unchanged.
 //   - Entries are bucketed per (hash kind, band) by band value in a
 //     counting-sort (CSR) layout: a starts array indexed by band value
 //     plus one ascending position list, so a probe is two array loads
@@ -79,6 +86,20 @@ type IndexConfig struct {
 	// MaxTail is the unindexed-tail length that triggers a band-table
 	// rebuild. Zero means defaultMaxTail.
 	MaxTail int
+	// BandKey seeds the keyed band mixer (phash.BandMixer) that
+	// scrambles hashes into the banding domain, so uploaders cannot
+	// precompute signatures that collide in the bucket tables. Zero
+	// draws a fresh random key at construction — the secure default;
+	// set it explicitly only where runs must reproduce bucket layouts
+	// (differential tests, the -adversary harness). Lookup results are
+	// identical to the linear scan for every key: the mixer is a
+	// Hamming isometry, so the pigeonhole guarantee holds unchanged in
+	// the mixed domain.
+	BandKey uint64
+	// Unkeyed disables band mixing entirely, restoring the public
+	// fixed band layout. Only the adversarial baseline arms use it —
+	// it is the configuration the collision flood defeats.
+	Unkeyed bool
 	// Obs, when non-nil, interns the index's irs_index_* series
 	// (lookup latency, candidate/verify counts, rebuild/compaction
 	// events, entry gauges) in the given registry. nil disables
@@ -109,9 +130,13 @@ func newIndexObs(reg *obs.Registry) *indexObs {
 	}
 }
 
-// hashEntry is one stored signature with the identifier it resolves to.
+// hashEntry is one stored signature with the identifier it resolves
+// to. mix caches the signature's three hashes in the banding domain
+// (the keyed mixer's output, or the raw hashes when unkeyed), so
+// rebuilds and compactions never re-mix.
 type hashEntry struct {
 	sig phash.Signature
+	mix [3]uint64
 	id  ids.PhotoID
 }
 
@@ -171,6 +196,8 @@ var scratchPool = sync.Pool{New: func() any { return new(lookupScratch) }}
 type SigIndex struct {
 	cfg   IndexConfig
 	radii []int
+	// mixer is the keyed banding isometry; nil when cfg.Unkeyed.
+	mixer *phash.BandMixer
 
 	mu  sync.Mutex // serializes writers
 	cur atomic.Pointer[indexSnapshot]
@@ -202,6 +229,13 @@ func NewSigIndex(cfg IndexConfig) *SigIndex {
 		radii: phash.BandRadii(phash.DefaultThreshold, cfg.Bands),
 		pos:   make(map[ids.PhotoID][]int32),
 	}
+	if !cfg.Unkeyed {
+		if cfg.BandKey != 0 {
+			x.mixer = phash.NewBandMixer(cfg.BandKey)
+		} else {
+			x.mixer = phash.NewRandomBandMixer()
+		}
+	}
 	if cfg.Obs != nil {
 		x.obs = newIndexObs(cfg.Obs)
 	}
@@ -209,23 +243,13 @@ func NewSigIndex(cfg IndexConfig) *SigIndex {
 	return x
 }
 
-func kindHash(sig phash.Signature, k int) uint64 {
-	switch k {
-	case 0:
-		return uint64(sig.A)
-	case 1:
-		return uint64(sig.D)
-	default:
-		return uint64(sig.P)
-	}
-}
-
 // Add appends one signature. The entry is visible to lookups as soon
 // as Add returns; it rides the linear tail until the next rebuild.
 func (x *SigIndex) Add(sig phash.Signature, id ids.PhotoID) {
+	e := hashEntry{sig: sig, mix: x.mixer.MixSignature(sig), id: id}
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	x.addLocked([]hashEntry{{sig: sig, id: id}})
+	x.addLocked([]hashEntry{e})
 }
 
 // AddAll appends a batch of signatures (one per id) in order — the
@@ -240,7 +264,7 @@ func (x *SigIndex) AddAll(sigs []phash.Signature, pids []ids.PhotoID) {
 	}
 	batch := make([]hashEntry, len(sigs))
 	for i := range sigs {
-		batch[i] = hashEntry{sig: sigs[i], id: pids[i]}
+		batch[i] = hashEntry{sig: sigs[i], mix: x.mixer.MixSignature(sigs[i]), id: pids[i]}
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -364,7 +388,7 @@ func (x *SigIndex) buildTable(entries []hashEntry) *bandTable {
 		mask := uint32(1)<<uint(width) - 1
 		starts := make([]int32, (1<<uint(width))+1)
 		for i := range entries {
-			v := uint32(kindHash(entries[i].sig, k)>>uint(shift)) & mask
+			v := uint32(entries[i].mix[k]>>uint(shift)) & mask
 			starts[v+1]++
 		}
 		for v := 1; v < len(starts); v++ {
@@ -374,7 +398,7 @@ func (x *SigIndex) buildTable(entries []hashEntry) *bandTable {
 		fill := make([]int32, 1<<uint(width))
 		copy(fill, starts[:1<<uint(width)])
 		for i := range entries {
-			v := uint32(kindHash(entries[i].sig, k)>>uint(shift)) & mask
+			v := uint32(entries[i].mix[k]>>uint(shift)) & mask
 			pos[fill[v]] = int32(i)
 			fill[v]++
 		}
@@ -422,7 +446,7 @@ func (x *SigIndex) lookup(sig phash.Signature) (ids.PhotoID, bool, int, int) {
 	cand, verified := 0, 0
 	if t := s.table; t != nil {
 		tailStart = t.n
-		id, ok, c, v := s.lookupIndexed(sig, t)
+		id, ok, c, v := s.lookupIndexed(sig, x.mixer.MixSignature(sig), t)
 		cand, verified = c, v
 		if ok {
 			return id, true, cand, verified
@@ -443,9 +467,12 @@ func (x *SigIndex) lookup(sig phash.Signature) (ids.PhotoID, bool, int, int) {
 }
 
 // lookupIndexed probes the band tables for the earliest live match in
-// entries[:t.n]. The two trailing returns are the candidate count and
-// the number of exact Matches verifications performed.
-func (s *indexSnapshot) lookupIndexed(sig phash.Signature, t *bandTable) (ids.PhotoID, bool, int, int) {
+// entries[:t.n]. mixed carries the probe's three hashes in the banding
+// domain (matching hashEntry.mix); verification still compares raw
+// signatures, so results are mixer-independent. The two trailing
+// returns are the candidate count and the number of exact Matches
+// verifications performed.
+func (s *indexSnapshot) lookupIndexed(sig phash.Signature, mixed [3]uint64, t *bandTable) (ids.PhotoID, bool, int, int) {
 	words := (t.n + 63) / 64
 	sc := scratchPool.Get().(*lookupScratch)
 	for k := range sc.marks {
@@ -457,7 +484,7 @@ func (s *indexSnapshot) lookupIndexed(sig phash.Signature, t *bandTable) (ids.Ph
 	md := sc.marks[1][:words]
 	mp := sc.marks[2][:words]
 	for k := 0; k < 3; k++ {
-		h := kindHash(sig, k)
+		h := mixed[k]
 		marks := sc.marks[k][:words]
 		for b := 0; b < t.bands; b++ {
 			tab := &t.tabs[k*t.bands+b]
@@ -556,6 +583,7 @@ type IndexStats struct {
 	Indexed     int // entries covered by the band tables
 	Tail        int // entries scanned linearly
 	Bands       int
+	Keyed       bool // band mixing active (IndexConfig.Unkeyed unset)
 	Rebuilds    int
 	Compactions int
 }
@@ -570,6 +598,7 @@ func (x *SigIndex) Stats() IndexStats {
 		Live:        len(s.entries) - s.deadCount,
 		Dead:        s.deadCount,
 		Bands:       x.cfg.Bands,
+		Keyed:       x.mixer != nil,
 		Rebuilds:    x.rebuilds,
 		Compactions: x.compactions,
 	}

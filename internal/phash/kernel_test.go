@@ -141,6 +141,9 @@ func TestHashesDoNotMutateInput(t *testing.T) {
 // three hashes may allocate. A regression here multiplies across every
 // image in an upload batch.
 func TestHashesZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation heap-allocates the pooled scratch")
+	}
 	im := photo.Synth(42, 256, 192)
 	for name, f := range map[string]func(*photo.Image) Hash{
 		"AHash": AHash, "DHash": DHash, "PHash": PHash,

@@ -1,0 +1,8 @@
+//go:build race
+
+package phash
+
+// raceEnabled reports whether the race detector instruments this build.
+// Alloc-count assertions are meaningless under it: the instrumentation
+// changes escape analysis and forces pooled scratch to the heap.
+const raceEnabled = true

@@ -153,6 +153,12 @@ type Config struct {
 	// Breaker configures the per-ledger circuit breakers; the zero
 	// value disables them.
 	Breaker BreakerConfig
+	// Admission configures per-client fairness (token bucket per
+	// client key with a shared overflow pool — see admission.go); the
+	// zero value disables it. Admission gates requests before any
+	// outcome accounting, so enabling it never changes a validation
+	// decision, only whether a client's request is accepted at all.
+	Admission AdmissionConfig
 	// Clock supplies time; nil means time.Now.
 	Clock func() time.Time
 	// Obs is the metrics registry the validator's series are interned
@@ -216,6 +222,9 @@ type Validator struct {
 	// brMu guards the lazily created per-ledger circuit breakers.
 	brMu     sync.Mutex
 	breakers map[ids.LedgerID]*breaker
+
+	// adm is the per-client admission-control state; nil when disabled.
+	adm *admission
 }
 
 type sfStripe struct {
@@ -259,6 +268,7 @@ func NewValidator(cfg Config, query QueryFunc) *Validator {
 		sf:       make([]sfStripe, n),
 		sfMask:   uint64(n - 1),
 		breakers: make(map[ids.LedgerID]*breaker),
+		adm:      newAdmission(cfg.Admission, cfg.Clock, reg),
 	}
 	for i := range v.sf {
 		v.sf[i].m = make(map[ids.PhotoID]*inflight)
@@ -571,37 +581,53 @@ func (v *Validator) queryOnce(id ids.PhotoID) (*ledger.StatusProof, error) {
 // counts nothing: outcome accounting happens at the occurrence level in
 // Validate/ValidateBatch, so singleflight waiters and leaders classify
 // identically and the conservation invariant holds.
+//
+// A waiter that joined a flight whose leader failed re-enters once
+// instead of adopting the error: the leader's failure belonged to the
+// leader's attempt (a transient fault, or a breaker that has since
+// closed), and propagating it to every waiter turns one failed request
+// into a whole herd of failures — the celebrity-takedown attack arm
+// measures exactly that amplification. One re-entry bounds the extra
+// upstream load at 2× per caller while letting a recovered upstream
+// answer the herd; if the retry flight fails too, the error stands.
 func (v *Validator) querySF(id ids.PhotoID) (*ledger.StatusProof, error) {
 	if v.query == nil {
 		return nil, ErrNoQuery
 	}
 	s := &v.sf[id.Hash64()&v.sfMask]
-	s.mu.Lock()
-	if fl, ok := s.m[id]; ok {
+	reentered := false
+	for {
+		s.mu.Lock()
+		if fl, ok := s.m[id]; ok {
+			s.mu.Unlock()
+			<-fl.done
+			if fl.err != nil && !reentered {
+				reentered = true
+				continue
+			}
+			return fl.proof, fl.err
+		}
+		fl := &inflight{done: make(chan struct{})}
+		s.m[id] = fl
 		s.mu.Unlock()
-		<-fl.done
+
+		if br := v.breakerFor(id.Ledger); br != nil && !br.allow(v.cfg.Clock()) {
+			fl.err = fmt.Errorf("proxy: ledger %d: %w", id.Ledger, ErrBreakerOpen)
+		} else {
+			up := v.st.begin()
+			fl.proof, fl.err = v.query(id)
+			v.st.observeUpstream(v.st.upstreamQuery, up)
+			if br != nil {
+				br.record(fl.err == nil, v.cfg.Clock())
+			}
+		}
+		close(fl.done)
+
+		s.mu.Lock()
+		delete(s.m, id)
+		s.mu.Unlock()
 		return fl.proof, fl.err
 	}
-	fl := &inflight{done: make(chan struct{})}
-	s.m[id] = fl
-	s.mu.Unlock()
-
-	if br := v.breakerFor(id.Ledger); br != nil && !br.allow(v.cfg.Clock()) {
-		fl.err = fmt.Errorf("proxy: ledger %d: %w", id.Ledger, ErrBreakerOpen)
-	} else {
-		up := v.st.begin()
-		fl.proof, fl.err = v.query(id)
-		v.st.observeUpstream(v.st.upstreamQuery, up)
-		if br != nil {
-			br.record(fl.err == nil, v.cfg.Clock())
-		}
-	}
-	close(fl.done)
-
-	s.mu.Lock()
-	delete(s.m, id)
-	s.mu.Unlock()
-	return fl.proof, fl.err
 }
 
 // Invalidate drops a cached proof, forcing the next validation to

@@ -340,8 +340,11 @@ func TestEpochTracking(t *testing.T) {
 }
 
 func TestSingleflightPropagatesErrors(t *testing.T) {
-	// All waiters collapsed onto a failing query must see the error, and
-	// the next call must retry (the inflight entry must not wedge).
+	// Against a persistently failing upstream every caller must still
+	// see the error — but waiters re-enter once before giving up, so
+	// the collapsed round costs between 2 upstream calls (leader plus
+	// one shared retry flight) and one per caller, never more. The
+	// inflight entry must not wedge either way.
 	var mu sync.Mutex
 	calls := 0
 	fail := true
@@ -376,8 +379,8 @@ func TestSingleflightPropagatesErrors(t *testing.T) {
 		}
 	}
 	mu.Lock()
-	if calls != 1 {
-		t.Fatalf("upstream called %d times during the collapsed round", calls)
+	if calls < 2 || calls > 6 {
+		t.Fatalf("upstream called %d times, want 2..6 (leader + one bounded re-entry per waiter)", calls)
 	}
 	fail = false
 	mu.Unlock()
@@ -390,6 +393,60 @@ func TestSingleflightPropagatesErrors(t *testing.T) {
 	}
 	if res.State != ledger.StateActive {
 		t.Errorf("retry state %v", res.State)
+	}
+}
+
+func TestSingleflightHerdRecoversFromLeaderFailure(t *testing.T) {
+	// The herd regression from attack (b): a transient upstream fault
+	// hits exactly the leader's call, then the upstream recovers. The
+	// old singleflight handed the leader's error to every waiter —
+	// turning one failed round trip into a whole herd of failures even
+	// though a retry would have succeeded. With waiter re-entry, at
+	// most the leader itself fails; every waiter re-enters once and is
+	// answered by the recovered upstream, regardless of scheduling.
+	const herd = 32
+	var mu sync.Mutex
+	calls := 0
+	release := make(chan struct{})
+	v := NewValidator(Config{CacheCapacity: 4}, func(id ids.PhotoID) (*ledger.StatusProof, error) {
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			<-release // hold the herd on this flight, then fail it
+			return nil, errors.New("transient fault")
+		}
+		return &ledger.StatusProof{ID: id, State: ledger.StateActive, IssuedAt: time.Now()}, nil
+	})
+	id := mustNewID(t, 1)
+	var wg sync.WaitGroup
+	errs := make([]error, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = v.Validate(id)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	// Only the caller whose own attempt was the failing flight may
+	// fail; callers that merely waited must succeed via re-entry.
+	if failed > 1 {
+		t.Fatalf("%d of %d herd callers failed after a single transient fault; want at most 1", failed, herd)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls < 2 || calls > herd+1 {
+		t.Fatalf("upstream called %d times, want 2..%d", calls, herd+1)
 	}
 }
 

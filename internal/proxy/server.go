@@ -105,7 +105,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// admit runs admission control for one request of cost n; on denial it
+// answers 429 and reports false. Admission happens before the
+// validator sees the request, so denied traffic never touches the
+// outcome counters (nor the upstream ledgers — the point).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, n int) bool {
+	if s.v.Admit(ClientKey(r.RemoteAddr, r.Header.Get(ClientHeader)), n) {
+		return true
+	}
+	wire.WriteError(w, http.StatusTooManyRequests, "proxy: client over admission rate")
+	return false
+}
+
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, 1) {
+		return
+	}
 	id, err := ids.Parse(r.URL.Query().Get("id"))
 	if err != nil {
 		wire.WriteError(w, http.StatusBadRequest, err.Error())
@@ -182,6 +197,9 @@ func (s *Server) handleValidateBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			batch[i] = id
 		}
+	}
+	if !s.admit(w, r, len(batch)) {
+		return
 	}
 	results, err := s.v.ValidateBatch(batch)
 	if err != nil {

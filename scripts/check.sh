@@ -172,4 +172,28 @@ if [ "$ok" != 1 ]; then
     exit 1
 fi
 
+# Adversarial suite: keyed-band-mixer identity/differential proofs,
+# the crafted-collision degradation regression, the admission-control
+# suite (identical decisions under benign traffic, flood isolation,
+# key churn), the singleflight herd leader-failure contract, and the
+# takedown/revalidation/upload torn-state hammer, named under -race.
+go test -race -run 'BandMixer|CraftedCollisions|KeyedIndexedLinearDifferential' \
+    ./internal/phash ./internal/aggregator
+go test -race -run 'Admission|ClientKey|Singleflight' ./internal/proxy
+go test -race -run 'TakedownRevalidateUploadHammer' ./internal/aggregator
+go test -race -run 'AdversaryQuickDeterministicAndGated' ./cmd/irs-bench
+
+# Fuzz the admission token accounting (clock skew, key churn, cost
+# interleavings; the exact-budget over-admission bound): ten seconds.
+# Anchored because -fuzz matches by prefix and FuzzAdmission* share one.
+go test -run='^$' -fuzz='^FuzzAdmissionAccounting$' -fuzztime=10s ./internal/proxy
+
+# Adversary smoke: quick-scale seeded attacks with benign control
+# twins. The identical-decisions gates (keyed index == linear oracle,
+# admission as a pure front door) and same-seed trace stability are
+# enforced on every run; the wall-clock envelope gates are asserted by
+# the committed full-scale run (BENCH_adversary.json, seed 42).
+go run ./cmd/irs-bench -adversary -adversary-scale quick \
+    -adversary-enforce=false -adversary-out /tmp/irs_adversary_smoke.json
+
 echo "check.sh: all green"
